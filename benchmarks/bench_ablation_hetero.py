@@ -1,0 +1,33 @@
+"""Ablation: heterogeneous leaf split factor (half vs quarter dies).
+
+DESIGN.md calls out the leaf-die choice as the design decision behind
+the paper's 30.8-33.5 % power reduction; this ablation quantifies each
+option on the 200 mm design.
+"""
+
+from repro.core.explorer import max_feasible_design
+from repro.core.hetero import apply_heterogeneity
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF_OVERDRIVEN
+
+
+def test_hetero_leaf_split_ablation(benchmark):
+    def run():
+        design = max_feasible_design(
+            200.0, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO
+        )
+        return design, {
+            split: apply_heterogeneity(design, leaf_split=split)
+            for split in (2, 4, 8)
+        }
+
+    design, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nbaseline: {design.power.total_w / 1000:.1f} kW")
+    for split, hetero in sorted(results.items()):
+        print(
+            f"leaf_split={split}: {hetero.power.total_w / 1000:.1f} kW "
+            f"(-{hetero.power_reduction_fraction * 100:.1f}%), "
+            f"{hetero.power_density_w_per_mm2:.3f} W/mm2, "
+            f"{hetero.cooling.name} cooling"
+        )
+    assert results[4].power.total_w < results[2].power.total_w

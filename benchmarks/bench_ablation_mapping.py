@@ -1,0 +1,43 @@
+"""Ablation: mapping optimizer initial-placement strategy and restarts.
+
+The paper runs Algorithm 1 from 1000 random initial mappings; we show
+why the library's default alternates random and leaves-out starts —
+random starts escape the heuristic's local optimum on mid-size Clos
+instances, and a few mixed restarts already converge (the paper
+likewise reports <1 % spread across its trials).
+"""
+
+from repro.mapping.exchange import optimize_mapping
+from repro.topology.clos import folded_clos
+
+
+def test_mapping_strategy_ablation(benchmark):
+    topology = folded_clos(2048)
+
+    def run():
+        return {
+            ("leaves_out", 2): optimize_mapping(
+                topology, restarts=2, strategy="leaves_out"
+            ).max_edge_channels,
+            ("random", 2): optimize_mapping(
+                topology, restarts=2, strategy="random"
+            ).max_edge_channels,
+            ("mixed", 2): optimize_mapping(
+                topology, restarts=2, strategy="mixed"
+            ).max_edge_channels,
+            ("mixed", 4): optimize_mapping(
+                topology, restarts=4, strategy="mixed"
+            ).max_edge_channels,
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for (strategy, restarts), load in sorted(results.items()):
+        print(f"start={strategy:10s} restarts={restarts}: worst edge {load} channels")
+    # Mixed matches the best single strategy, and extra restarts change
+    # little (the paper's <1% spread observation).
+    best_single = min(
+        results[("leaves_out", 2)], results[("random", 2)]
+    )
+    assert results[("mixed", 2)] <= best_single
+    assert results[("mixed", 4)] <= results[("mixed", 2)]

@@ -1,0 +1,29 @@
+"""Ablation: monolithic vs chiplet-based WSI yield (Section III.A).
+
+Quantifies why the paper builds on chiplet-based integration: KGD
+testing plus >99.9 % bonding keeps assembly yield high at 96 chiplets,
+while a monolithic waferscale part needs heavy redundancy.
+"""
+
+from repro.tech.yield_model import compare_integration_yield
+
+
+def test_integration_yield_ablation(benchmark):
+    def run():
+        return {
+            n: compare_integration_yield(n) for n in (12, 24, 48, 96)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"{'chiplets':>9s} {'monolithic':>11s} {'mono+spares':>12s} "
+        f"{'chiplet WSI':>12s}"
+    )
+    for n, comparison in sorted(results.items()):
+        print(
+            f"{n:>9d} {comparison.monolithic_no_redundancy:>11.3f} "
+            f"{comparison.monolithic_with_redundancy:>12.3f} "
+            f"{comparison.chiplet_based:>12.3f}"
+        )
+    assert results[96].chiplet_based > results[96].monolithic_with_redundancy

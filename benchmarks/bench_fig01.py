@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig01 (see repro.experiments.fig01)."""
+
+
+def test_fig01(run_experiment):
+    result = run_experiment("fig01")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig05 (see repro.experiments.fig05)."""
+
+
+def test_fig05(run_experiment):
+    result = run_experiment("fig05")
+    assert result.rows

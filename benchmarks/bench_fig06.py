@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig06 (see repro.experiments.fig06)."""
+
+
+def test_fig06(run_experiment):
+    result = run_experiment("fig06")
+    assert result.rows

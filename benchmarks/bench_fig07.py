@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig07 (see repro.experiments.fig07)."""
+
+
+def test_fig07(run_experiment):
+    result = run_experiment("fig07")
+    assert result.rows

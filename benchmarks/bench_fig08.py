@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig08 (see repro.experiments.fig08)."""
+
+
+def test_fig08(run_experiment):
+    result = run_experiment("fig08")
+    assert result.rows

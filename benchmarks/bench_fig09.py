@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig09 (see repro.experiments.fig09)."""
+
+
+def test_fig09(run_experiment):
+    result = run_experiment("fig09")
+    assert result.rows

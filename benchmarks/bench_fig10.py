@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig10 (see repro.experiments.fig10)."""
+
+
+def test_fig10(run_experiment):
+    result = run_experiment("fig10")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig11 (see repro.experiments.fig11)."""
+
+
+def test_fig11(run_experiment):
+    result = run_experiment("fig11")
+    assert result.rows

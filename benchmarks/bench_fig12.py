@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig12 (see repro.experiments.fig12)."""
+
+
+def test_fig12(run_experiment):
+    result = run_experiment("fig12")
+    assert result.rows

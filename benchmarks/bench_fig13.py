@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig13 (see repro.experiments.fig13)."""
+
+
+def test_fig13(run_experiment):
+    result = run_experiment("fig13")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig15 (see repro.experiments.fig15)."""
+
+
+def test_fig15(run_experiment):
+    result = run_experiment("fig15")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig16 (see repro.experiments.fig16)."""
+
+
+def test_fig16(run_experiment):
+    result = run_experiment("fig16")
+    assert result.rows

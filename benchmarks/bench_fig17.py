@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig17 (see repro.experiments.fig17)."""
+
+
+def test_fig17(run_experiment):
+    result = run_experiment("fig17")
+    assert result.rows

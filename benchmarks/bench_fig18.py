@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig18 (see repro.experiments.fig18)."""
+
+
+def test_fig18(run_experiment):
+    result = run_experiment("fig18")
+    assert result.rows

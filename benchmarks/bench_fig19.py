@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig19 (see repro.experiments.fig19)."""
+
+
+def test_fig19(run_experiment):
+    result = run_experiment("fig19")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig21 (see repro.experiments.fig21)."""
+
+
+def test_fig21(run_experiment):
+    result = run_experiment("fig21")
+    assert result.rows

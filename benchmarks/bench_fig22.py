@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig22 (see repro.experiments.fig22)."""
+
+
+def test_fig22(run_experiment):
+    result = run_experiment("fig22")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig23 (see repro.experiments.fig23)."""
+
+
+def test_fig23(run_experiment):
+    result = run_experiment("fig23")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig24 (see repro.experiments.fig24)."""
+
+
+def test_fig24(run_experiment):
+    result = run_experiment("fig24")
+    assert result.rows

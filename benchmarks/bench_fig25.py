@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig25 (see repro.experiments.fig25)."""
+
+
+def test_fig25(run_experiment):
+    result = run_experiment("fig25")
+    assert result.rows

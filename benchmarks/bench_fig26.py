@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig26 (see repro.experiments.fig26)."""
+
+
+def test_fig26(run_experiment):
+    result = run_experiment("fig26")
+    assert result.rows

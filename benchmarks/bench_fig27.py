@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig27 (see repro.experiments.fig27)."""
+
+
+def test_fig27(run_experiment):
+    result = run_experiment("fig27")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Regenerate paper artifact fig28 (see repro.experiments.fig28)."""
+
+
+def test_fig28(run_experiment):
+    result = run_experiment("fig28")
+    assert result.rows

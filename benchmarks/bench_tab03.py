@@ -1,0 +1,6 @@
+"""Regenerate paper artifact tab03 (see repro.experiments.tab03)."""
+
+
+def test_tab03(run_experiment):
+    result = run_experiment("tab03")
+    assert result.rows

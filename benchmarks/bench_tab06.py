@@ -1,0 +1,6 @@
+"""Regenerate paper artifact tab06 (see repro.experiments.tab06)."""
+
+
+def test_tab06(run_experiment):
+    result = run_experiment("tab06")
+    assert result.rows

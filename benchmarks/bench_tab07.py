@@ -1,0 +1,6 @@
+"""Regenerate paper artifact tab07 (see repro.experiments.tab07)."""
+
+
+def test_tab07(run_experiment):
+    result = run_experiment("tab07")
+    assert result.rows

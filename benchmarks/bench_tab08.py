@@ -1,0 +1,6 @@
+"""Regenerate paper artifact tab08 (see repro.experiments.tab08)."""
+
+
+def test_tab08(run_experiment):
+    result = run_experiment("tab08")
+    assert result.rows

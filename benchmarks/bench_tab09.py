@@ -1,0 +1,6 @@
+"""Regenerate paper artifact tab09 (see repro.experiments.tab09)."""
+
+
+def test_tab09(run_experiment):
+    result = run_experiment("tab09")
+    assert result.rows

@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper artifact end-to-end (fast-mode
+scale by default; set REPRO_BENCH_FULL=1 for the full-scale runs) and
+prints its table so `pytest benchmarks/ --benchmark-only` doubles as
+the reproduction report.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment once under the benchmark timer and print it."""
+
+    def runner(experiment_id: str):
+        from repro.experiments.base import get_experiment
+
+        run = get_experiment(experiment_id)
+        result = benchmark.pedantic(
+            lambda: run(fast=not FULL), rounds=1, iterations=1
+        )
+        print()
+        print(result.format_table())
+        return result
+
+    return runner

@@ -1,0 +1,59 @@
+"""Datacenter planning with waferscale switches (Section VIII.B).
+
+Compares a single-switch datacenter and a WS-spine DCN against their
+conventional TH-5 Clos equivalents, including the dollar savings from
+removed optics and reclaimed rack space (Tables VII and IX).
+
+Run:  python examples/datacenter_planning.py [--racks 16384]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.costs import compare_costs
+from repro.core.use_cases import datacenter_comparison, dcn_comparison
+
+
+def show(comparison, costs=None) -> None:
+    print(f"\n{comparison.label}")
+    print(f"  {'':24s}{'waferscale':>12s}{'TH-5 Clos':>12s}")
+    rows = (
+        ("switches", comparison.ws_switches, comparison.baseline_switches),
+        ("optical cables", comparison.ws_cables, comparison.baseline_cables),
+        ("worst-case hops", comparison.ws_hops, comparison.baseline_hops),
+        ("rack units", comparison.ws_rack_units, comparison.baseline_rack_units),
+    )
+    for name, ws, baseline in rows:
+        print(f"  {name:24s}{ws:>12,}{baseline:>12,}")
+    print(
+        f"  {'bisection bandwidth':24s}"
+        f"{comparison.bisection_bandwidth_gbps / 1000:>10.1f} Tbps (both)"
+    )
+    print(
+        f"  cable reduction {comparison.cable_reduction * 100:.0f}%, "
+        f"rack-space reduction {comparison.rack_space_reduction * 100:.0f}%"
+    )
+    if costs is not None:
+        low, high = costs.total_first_year_savings_usd
+        print(
+            f"  first-year savings (optics + colocation): "
+            f"${low / 1e6:,.0f}M - ${high / 1e6:,.0f}M"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=8192)
+    parser.add_argument("--racks", type=int, default=16384)
+    args = parser.parse_args()
+
+    single = datacenter_comparison(servers=args.servers)
+    show(single, compare_costs(single))
+
+    dcn = dcn_comparison(racks=args.racks)
+    show(dcn, compare_costs(dcn))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``design``      — find and describe the max feasible switch for a
+                    substrate / technology combination.
+* ``experiments`` — run paper-artifact reproductions (same as
+                    ``python -m repro.experiments.runner``).
+* ``simulate``    — run the cycle-accurate WS-vs-network comparison.
+* ``usecases``    — print the deployment comparison tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.tech.external_io import EXTERNAL_IO_TECHNOLOGIES
+from repro.tech.wsi import SI_IF_OVERDRIVEN, WSI_TECHNOLOGIES
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.core.explorer import max_feasible_design
+    from repro.core.hetero import apply_heterogeneity
+    from repro.mapping.visualize import describe_mapping
+
+    wsi = WSI_TECHNOLOGIES[args.wsi]
+    external = EXTERNAL_IO_TECHNOLOGIES[args.external_io]
+    design = max_feasible_design(args.substrate, wsi=wsi, external_io=external)
+    if design is None:
+        print("no feasible waferscale design for this configuration")
+        return 1
+    print(design.describe())
+    print(
+        f"power density {design.power_density_w_per_mm2:.2f} W/mm2; "
+        f"I/O share {design.power.io_fraction * 100:.0f}%"
+    )
+    if args.hetero:
+        hetero = apply_heterogeneity(design, leaf_split=4)
+        print(
+            f"heterogeneous: {hetero.power.total_w / 1000:.1f} kW "
+            f"(-{hetero.power_reduction_fraction * 100:.1f}%), "
+            f"{hetero.cooling.name} cooling"
+        )
+    if args.show_mapping and design.mapping is not None:
+        print()
+        print(describe_mapping(design.mapping))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    forwarded = list(args.ids)
+    if args.full:
+        forwarded.append("--full")
+    return runner_main(forwarded)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.netsim.network import (
+        baseline_switch_network,
+        waferscale_clos_network,
+    )
+    from repro.netsim.sim import load_latency_sweep
+    from repro.netsim.traffic import make_pattern
+
+    common = dict(
+        n_terminals=args.terminals,
+        ssc_radix=args.radix,
+        num_vcs=args.vcs,
+        buffer_flits_per_port=args.buffer,
+    )
+    loads = [float(x) for x in args.loads.split(",")]
+    for label, factory in (
+        ("waferscale", lambda: waferscale_clos_network(**common)),
+        ("switch-network", lambda: baseline_switch_network(**common)),
+    ):
+        points = load_latency_sweep(
+            factory, lambda n: make_pattern(args.pattern, n), loads
+        )
+        print(f"\n{label} ({args.pattern}):")
+        for point in points:
+            print(
+                f"  load {point.offered_load:.2f}: "
+                f"{point.avg_latency_cycles:7.1f} cycles "
+                f"({point.avg_latency_ns:7.0f} ns), accepted "
+                f"{point.accepted_load:.3f}"
+                + ("  [saturated]" if point.saturated else "")
+            )
+    return 0
+
+
+def _cmd_usecases(args: argparse.Namespace) -> int:
+    del args
+    from repro.experiments.runner import run_experiments
+
+    for result in run_experiments(["tab03", "tab07", "tab08", "tab09"]):
+        print(result.format_table())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    design = sub.add_parser("design", help="max feasible switch design")
+    design.add_argument("--substrate", type=float, default=300.0)
+    design.add_argument(
+        "--wsi",
+        choices=sorted(WSI_TECHNOLOGIES),
+        default=SI_IF_OVERDRIVEN.name,
+    )
+    design.add_argument(
+        "--external-io",
+        choices=sorted(EXTERNAL_IO_TECHNOLOGIES),
+        default="Optical I/O",
+    )
+    design.add_argument("--hetero", action="store_true")
+    design.add_argument("--show-mapping", action="store_true")
+    design.set_defaults(func=_cmd_design)
+
+    experiments = sub.add_parser("experiments", help="reproduce paper artifacts")
+    experiments.add_argument("ids", nargs="*")
+    experiments.add_argument("--full", action="store_true")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    simulate = sub.add_parser("simulate", help="cycle-accurate comparison")
+    simulate.add_argument("--terminals", type=int, default=64)
+    simulate.add_argument("--radix", type=int, default=16)
+    simulate.add_argument("--vcs", type=int, default=4)
+    simulate.add_argument("--buffer", type=int, default=16)
+    simulate.add_argument("--pattern", default="uniform")
+    simulate.add_argument("--loads", default="0.1,0.3,0.5,0.7")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    usecases = sub.add_parser("usecases", help="deployment tables")
+    usecases.set_defaults(func=_cmd_usecases)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

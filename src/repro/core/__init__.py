@@ -1,0 +1,76 @@
+"""Waferscale network switch design-space core (the paper's contribution).
+
+This package ties together the technology, topology, and mapping layers
+into the paper's analyses:
+
+* :mod:`repro.core.design` / :mod:`repro.core.constraints` — evaluate a
+  candidate switch design against area, internal-bandwidth,
+  external-bandwidth and cooling constraints.
+* :mod:`repro.core.explorer` — find the maximum feasible radix for a
+  substrate / technology combination (Figs 6, 7, 9, 12, 17, 18, 25, 27, 28).
+* :mod:`repro.core.power_breakdown` — SSC core / internal I/O /
+  external I/O power accounting (Figs 10, 11, 13, 26c).
+* :mod:`repro.core.hetero` — the heterogeneous switch optimization
+  (Section V.B, Figs 14, 16).
+* :mod:`repro.core.deradix` — subswitch deradixing (Section V.C,
+  Figs 17, 18, 19).
+* :mod:`repro.core.physical_clos` — physical-Clos alternative (Fig 26).
+* :mod:`repro.core.system_arch` — enclosure, power delivery, cooling
+  loop and front-panel sizing (Section VIII.A, Figs 29, 30).
+* :mod:`repro.core.use_cases` / :mod:`repro.core.costs` — single-switch
+  datacenter, singular GPU, and DCN comparisons (Tables III, VI-IX).
+"""
+
+from repro.core.buffering import (
+    buffer_requirements_by_connection,
+    required_buffer_bits,
+    required_buffer_flits,
+)
+from repro.core.constraints import ConstraintLimits, ConstraintReport
+from repro.core.deradix import deradix_sweep
+from repro.core.latency import latency_report
+from repro.core.design import DesignPoint, evaluate_design
+from repro.core.explorer import (
+    clos_radix_candidates,
+    ideal_max_ports,
+    max_feasible_design,
+)
+from repro.core.hetero import HeterogeneousResult, apply_heterogeneity
+from repro.core.physical_clos import PhysicalClosResult, evaluate_physical_clos
+from repro.core.power_breakdown import PowerBreakdown, power_breakdown
+from repro.core.system_arch import SystemArchitecture, design_system_architecture
+from repro.core.use_cases import (
+    datacenter_comparison,
+    dcn_comparison,
+    gpu_cluster_comparison,
+    microarchitecture_chiplet_counts,
+    modular_switch_comparison,
+)
+
+__all__ = [
+    "ConstraintLimits",
+    "ConstraintReport",
+    "DesignPoint",
+    "HeterogeneousResult",
+    "PhysicalClosResult",
+    "PowerBreakdown",
+    "SystemArchitecture",
+    "apply_heterogeneity",
+    "buffer_requirements_by_connection",
+    "clos_radix_candidates",
+    "datacenter_comparison",
+    "dcn_comparison",
+    "deradix_sweep",
+    "design_system_architecture",
+    "evaluate_design",
+    "evaluate_physical_clos",
+    "gpu_cluster_comparison",
+    "ideal_max_ports",
+    "latency_report",
+    "max_feasible_design",
+    "required_buffer_bits",
+    "required_buffer_flits",
+    "microarchitecture_chiplet_counts",
+    "modular_switch_comparison",
+    "power_breakdown",
+]

@@ -1,0 +1,89 @@
+"""Analytic buffer sizing (Section VI's ``B = RTT x BW / sqrt(n)``).
+
+The paper's low-latency-buffering argument: on-wafer links cut RTT by
+an order of magnitude versus in-rack PCB or optical links (Table V), so
+the Appenzeller/Keslassy/McKeown rule sizes SSC buffers small enough
+for fast SRAM rather than DRAM. This module computes those sizes and
+the resulting reduction factors, and is validated against the
+simulator's fig21 sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech.data import CONNECTION_LATENCIES_NS
+from repro.units import require_positive
+
+#: Buffers below this size comfortably fit on-die SRAM; larger buffers
+#: historically push switch designs to off-chip DRAM/HBM (Section VI's
+#: "fast SRAM instead of slower DRAM" point).
+SRAM_BUFFER_LIMIT_BITS = 256e6
+
+
+def required_buffer_bits(
+    rtt_ns: float, bandwidth_gbps: float, n_flows: int = 1
+) -> float:
+    """Buffer-sizing rule ``B = RTT x BW / sqrt(n)`` in bits."""
+    require_positive("rtt_ns", rtt_ns)
+    require_positive("bandwidth_gbps", bandwidth_gbps)
+    if n_flows < 1:
+        raise ValueError("n_flows must be >= 1")
+    return rtt_ns * bandwidth_gbps / math.sqrt(n_flows)
+
+
+def required_buffer_flits(
+    rtt_ns: float,
+    bandwidth_gbps: float,
+    n_flows: int = 1,
+    flit_bits: int = 4096,
+) -> int:
+    """The same rule, rounded up to whole flits."""
+    bits = required_buffer_bits(rtt_ns, bandwidth_gbps, n_flows)
+    return max(1, math.ceil(bits / flit_bits))
+
+
+@dataclass(frozen=True)
+class BufferRequirement:
+    """Sizing for one connection type."""
+
+    connection: str
+    rtt_ns: float
+    buffer_bits: float
+
+    @property
+    def fits_sram(self) -> bool:
+        return self.buffer_bits <= SRAM_BUFFER_LIMIT_BITS
+
+    @property
+    def buffer_mbit(self) -> float:
+        return self.buffer_bits / 1e6
+
+
+def buffer_requirements_by_connection(
+    bandwidth_gbps: float = 51200.0, n_flows: int = 256
+) -> dict:
+    """Buffer requirement per Table V connection type.
+
+    Defaults model a full TH-5-class SSC (51.2 Tbps aggregate) carrying
+    one flow per port. RTT is twice the one-way latency.
+    """
+    requirements = {}
+    for connection, (low_ns, high_ns) in CONNECTION_LATENCIES_NS.items():
+        rtt = 2.0 * high_ns
+        requirements[connection] = BufferRequirement(
+            connection=connection,
+            rtt_ns=rtt,
+            buffer_bits=required_buffer_bits(rtt, bandwidth_gbps, n_flows),
+        )
+    return requirements
+
+
+def on_wafer_buffer_reduction(n_flows: int = 256) -> float:
+    """How much smaller on-wafer buffers are vs 100 m optical links."""
+    requirements = buffer_requirements_by_connection(n_flows=n_flows)
+    return (
+        requirements["100m optical"].buffer_bits
+        / requirements["on-wafer"].buffer_bits
+    )

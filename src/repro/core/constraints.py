@@ -1,0 +1,102 @@
+"""Feasibility constraints for a waferscale switch design (Section IV).
+
+Four constraints can bind a design:
+
+* **Area** — all chiplets must fit on the substrate.
+* **External bandwidth** — the I/O technology must carry
+  ``2 x N x port_bw`` across the wafer boundary.
+* **Internal bandwidth** — after mapping, the worst inter-chiplet edge
+  must give every routed channel at least the port bandwidth.
+* **Power density** — total power divided by substrate area must fit the
+  chosen cooling solution's envelope (optional; Figs 16, 28).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mapping.routing import USABLE_EDGE_CAPACITY_FRACTION
+from repro.tech.cooling import CoolingSolution
+
+
+@dataclass(frozen=True)
+class ConstraintLimits:
+    """Which constraints to evaluate, and with what margins.
+
+    ``capacity_fraction`` reserves a fraction of the raw inter-chiplet
+    edge bandwidth for shielding, forwarded clocks, framing, and lane
+    sparing (see ``USABLE_EDGE_CAPACITY_FRACTION``), so channels may
+    use at most that fraction of an edge.
+    """
+
+    consider_area: bool = True
+    consider_external: bool = True
+    consider_internal: bool = True
+    cooling: Optional[CoolingSolution] = None
+    capacity_fraction: float = USABLE_EDGE_CAPACITY_FRACTION
+    substrate_utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.capacity_fraction <= 1.0:
+            raise ValueError("capacity_fraction must be in (0, 1]")
+        if not 0.0 < self.substrate_utilization <= 1.0:
+            raise ValueError("substrate_utilization must be in (0, 1]")
+
+
+#: The ideal-case analysis of Fig 6: only the substrate area binds.
+AREA_ONLY = ConstraintLimits(
+    consider_area=True, consider_external=False, consider_internal=False
+)
+
+#: The realistic analysis of Figs 7 and 9 (no cooling limit yet).
+AREA_BANDWIDTH = ConstraintLimits()
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Outcome of evaluating one design against the limits."""
+
+    # Area
+    area_considered: bool
+    area_ok: bool
+    chiplet_area_mm2: float
+    usable_area_mm2: float
+    # External bandwidth
+    external_considered: bool
+    external_ok: bool
+    external_required_gbps: float
+    external_capacity_gbps: float
+    # Internal bandwidth
+    internal_considered: bool
+    internal_ok: bool
+    max_edge_channels: int
+    available_per_port_gbps: float
+    required_per_port_gbps: float
+    # Power density / cooling
+    cooling_considered: bool
+    cooling_ok: bool
+    power_density_w_per_mm2: float
+    cooling_limit_w_per_mm2: float
+
+    @property
+    def feasible(self) -> bool:
+        return (
+            (self.area_ok or not self.area_considered)
+            and (self.external_ok or not self.external_considered)
+            and (self.internal_ok or not self.internal_considered)
+            and (self.cooling_ok or not self.cooling_considered)
+        )
+
+    def binding_constraints(self) -> list:
+        """Names of the constraints that fail (empty if feasible)."""
+        failing = []
+        if self.area_considered and not self.area_ok:
+            failing.append("area")
+        if self.external_considered and not self.external_ok:
+            failing.append("external-bandwidth")
+        if self.internal_considered and not self.internal_ok:
+            failing.append("internal-bandwidth")
+        if self.cooling_considered and not self.cooling_ok:
+            failing.append("power-density")
+        return failing

@@ -1,0 +1,82 @@
+"""Datacenter network cost model (Section VIII.B, Table IX discussion).
+
+The paper's headline: consolidating a DCN spine into waferscale
+switches removes ~66 % of optical links and ~94 % of spine rack space,
+worth millions of dollars at hyperscale. Cost constants come from the
+paper's citations: $5000 per 800G QSFP-DD transceiver module, $400 per
+km of optical fiber, and $75-$300 per RU-month of colocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.use_cases import DeploymentComparison
+
+TRANSCEIVER_COST_USD = 5000.0  # one 800G QSFP-DD module
+TRANSCEIVERS_PER_CABLE = 2  # one at each end
+FIBER_COST_USD_PER_KM = 400.0
+AVERAGE_FIBER_RUN_KM = 0.1  # intra-datacenter average run
+COLOCATION_USD_PER_RU_MONTH = (75.0, 300.0)
+MONTHS_PER_YEAR = 12
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Capital + yearly space cost of a deployment vs its baseline."""
+
+    comparison: DeploymentComparison
+    ws_optics_usd: float
+    baseline_optics_usd: float
+    ws_space_usd_per_year_low: float
+    ws_space_usd_per_year_high: float
+    baseline_space_usd_per_year_low: float
+    baseline_space_usd_per_year_high: float
+
+    @property
+    def optics_savings_usd(self) -> float:
+        return self.baseline_optics_usd - self.ws_optics_usd
+
+    @property
+    def space_savings_usd_per_year(self) -> tuple:
+        return (
+            self.baseline_space_usd_per_year_low - self.ws_space_usd_per_year_low,
+            self.baseline_space_usd_per_year_high
+            - self.ws_space_usd_per_year_high,
+        )
+
+    @property
+    def total_first_year_savings_usd(self) -> tuple:
+        low, high = self.space_savings_usd_per_year
+        return (self.optics_savings_usd + low, self.optics_savings_usd + high)
+
+
+def optics_cost_usd(cable_count: int) -> float:
+    """Transceivers plus fiber for the given optical cable count."""
+    transceivers = cable_count * TRANSCEIVERS_PER_CABLE * TRANSCEIVER_COST_USD
+    fiber = cable_count * AVERAGE_FIBER_RUN_KM * FIBER_COST_USD_PER_KM
+    return transceivers + fiber
+
+
+def space_cost_usd_per_year(rack_units: int) -> tuple:
+    """(low, high) yearly colocation cost for the rack units."""
+    low, high = COLOCATION_USD_PER_RU_MONTH
+    return (
+        rack_units * low * MONTHS_PER_YEAR,
+        rack_units * high * MONTHS_PER_YEAR,
+    )
+
+
+def compare_costs(comparison: DeploymentComparison) -> CostComparison:
+    """Cost the WS deployment against its conventional baseline."""
+    ws_low, ws_high = space_cost_usd_per_year(comparison.ws_rack_units)
+    base_low, base_high = space_cost_usd_per_year(comparison.baseline_rack_units)
+    return CostComparison(
+        comparison=comparison,
+        ws_optics_usd=optics_cost_usd(comparison.ws_cables),
+        baseline_optics_usd=optics_cost_usd(comparison.baseline_cables),
+        ws_space_usd_per_year_low=ws_low,
+        ws_space_usd_per_year_high=ws_high,
+        baseline_space_usd_per_year_low=base_low,
+        baseline_space_usd_per_year_high=base_high,
+    )

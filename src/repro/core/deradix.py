@@ -1,0 +1,69 @@
+"""Subswitch deradixing (Section V.C, Figs 17, 18, 19).
+
+Deradixing reduces each SSC's port count while keeping its die area —
+and therefore its inter-chiplet I/O and feedthrough budget — unchanged.
+A deradixed Clos needs proportionally more chiplets for the same switch
+radix, but each chiplet injects fewer channels, relaxing the worst-edge
+load. Where internal bandwidth binds (3200 Gbps/mm) this doubles the
+achievable radix; where it does not (6400 Gbps/mm) the extra chiplets
+only waste area and the achievable radix drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.constraints import ConstraintLimits
+from repro.core.design import DesignPoint
+from repro.core.explorer import max_feasible_design
+from repro.tech.chiplet import SubSwitchChiplet, tomahawk5
+from repro.tech.external_io import ExternalIOTechnology
+from repro.tech.wsi import WSITechnology
+
+
+@dataclass(frozen=True)
+class DeradixPoint:
+    """Best design achievable with one deradix factor."""
+
+    factor: int
+    ssc_radix: int
+    design: Optional[DesignPoint]
+
+    @property
+    def max_ports(self) -> int:
+        return self.design.n_ports if self.design is not None else 0
+
+
+def deradix_sweep(
+    substrate_side_mm: float,
+    wsi: WSITechnology,
+    external_io: Optional[ExternalIOTechnology],
+    factors: Sequence[int] = (1, 2, 4),
+    ssc: Optional[SubSwitchChiplet] = None,
+    limits: ConstraintLimits = ConstraintLimits(),
+    mapping_restarts: int = 2,
+) -> Dict[int, DeradixPoint]:
+    """Max feasible radix for each deradix factor (Figs 17, 18)."""
+    base = ssc if ssc is not None else tomahawk5()
+    results: Dict[int, DeradixPoint] = {}
+    for factor in factors:
+        chiplet = base.deradixed(factor)
+        design = max_feasible_design(
+            substrate_side_mm,
+            ssc=chiplet,
+            wsi=wsi,
+            external_io=external_io,
+            limits=limits,
+            family="clos",
+            mapping_restarts=mapping_restarts,
+        )
+        results[factor] = DeradixPoint(
+            factor=factor, ssc_radix=chiplet.radix, design=design
+        )
+    return results
+
+
+def best_deradix_factor(sweep: Dict[int, DeradixPoint]) -> int:
+    """Factor achieving the most ports (ties go to the least deradixed)."""
+    return max(sorted(sweep), key=lambda f: sweep[f].max_ports)

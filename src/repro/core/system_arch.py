@@ -1,0 +1,169 @@
+"""System-level architecture of a waferscale switch (Section VIII.A).
+
+Sizes the enclosure around a given switch design: power-supply chain
+(PSUs -> 48V/12V DC-DC converters -> VRMs on the wafer back side),
+cold-plate cooling loops, front-panel optical adapters, and the
+resulting rack-unit budget. Reproduces the paper's 300 mm reference
+point (25 PSUs, 50 DC-DC converters, ~420 VRMs, 36 passive cold-plate
+loops fed by 12 supply channels, 2052 CS adapters in 19RU + 1RU
+management = 20RU) and the derived 200 mm variant (11RU).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import require_positive
+
+#: Component capabilities from the paper's cited parts.
+PSU_POWER_W = 4000.0  # high-density server PSU
+DCDC_POWER_W = 1000.0  # 48V -> 12V converter module (27 x 18 mm)
+DCDC_AREA_MM2 = 27.0 * 18.0
+VRM_CURRENT_A = 130.0  # 12V -> <2V VRM (10 x 9 mm)
+VRM_AREA_MM2 = 10.0 * 9.0
+VRM_REDUNDANCY = 1.10  # 10 % spare VRMs
+SSC_SUPPLY_VOLTAGE = 0.80  # V (0.75-1.2 V rails; worst case current)
+NON_ASIC_OVERHEAD_W = 5000.0  # fans, management, misc (the paper's 5 kW)
+
+#: Cooling-loop geometry: one passive cold plate (PCL) covers a 2x2
+#: chiplet tile and dissipates up to 1.6 kW; three consecutive PCLs
+#: share one supply channel pair.
+PCL_TILE = 2
+PCL_POWER_W = 1600.0
+PCLS_PER_SUPPLY_CHANNEL = 3
+PCL_FLOW_LFM = (10.0, 12.0)  # deionized water linear feet per minute
+PCL_PRESSURE_PSI = 10.0
+COOLANT_INLET_C = 20.0
+JUNCTION_TEMPERATURE_C = (70.0, 80.0)
+
+#: Front panel: CS optical adapters per rack unit, and the management
+#: server at the top of the chassis.
+ADAPTERS_PER_RU = 108
+MANAGEMENT_RU = 1
+#: Front-panel adapters carry 800G each; higher-radix configurations
+#: bifurcate one adapter into multiple ports with splitter cables.
+ADAPTER_BANDWIDTH_GBPS = 800.0
+
+
+@dataclass(frozen=True)
+class SystemArchitecture:
+    """Sized enclosure for one waferscale switch."""
+
+    substrate_side_mm: float
+    n_ports: int
+    port_bandwidth_gbps: float
+    asic_power_w: float
+    # Power delivery
+    total_power_w: float
+    psu_count: int
+    dcdc_count: int
+    vrm_count: int
+    backside_component_area_mm2: float
+    # Cooling
+    pcl_count: int
+    supply_channel_count: int
+    # Front panel
+    adapter_count: int
+    front_panel_ru: int
+    total_ru: int
+
+    @property
+    def total_bandwidth_gbps(self) -> float:
+        return self.n_ports * self.port_bandwidth_gbps
+
+    @property
+    def power_per_port_w(self) -> float:
+        return self.total_power_w / self.n_ports
+
+    @property
+    def capacity_density_tbps_per_ru(self) -> float:
+        return self.total_bandwidth_gbps / 1000.0 / self.total_ru
+
+
+def design_system_architecture(
+    substrate_side_mm: float,
+    n_ports: int,
+    port_bandwidth_gbps: float,
+    asic_power_w: float,
+    chiplet_array_side: int = 12,
+) -> SystemArchitecture:
+    """Size the full enclosure for a switch design.
+
+    Args:
+        substrate_side_mm: Substrate size (300 or 200 in the paper).
+        n_ports: Switch radix.
+        port_bandwidth_gbps: Line rate per port.
+        asic_power_w: Power of the wafer (SSCs + on-wafer I/O).
+        chiplet_array_side: Switching + I/O chiplet array dimension
+            (12x12 for the paper's largest 300 mm system).
+    """
+    require_positive("asic_power_w", asic_power_w)
+    if n_ports < 1:
+        raise ValueError("n_ports must be >= 1")
+
+    total_power = asic_power_w + NON_ASIC_OVERHEAD_W
+    # N+N redundant PSUs: provision twice the total budget.
+    psu_count = math.ceil(2.0 * total_power / PSU_POWER_W)
+    dcdc_count = math.ceil(total_power / DCDC_POWER_W)
+    supply_current_a = asic_power_w / SSC_SUPPLY_VOLTAGE
+    vrm_count = math.ceil(supply_current_a / VRM_CURRENT_A * VRM_REDUNDANCY)
+    backside_area = dcdc_count * DCDC_AREA_MM2 + vrm_count * VRM_AREA_MM2
+    wafer_area = substrate_side_mm * substrate_side_mm
+    if backside_area > wafer_area:
+        raise ValueError(
+            "power delivery components do not fit under the wafer "
+            f"({backside_area:.0f} of {wafer_area:.0f} mm2)"
+        )
+
+    pcl_count = math.ceil(chiplet_array_side / PCL_TILE) ** 2
+    if asic_power_w > pcl_count * PCL_POWER_W:
+        raise ValueError(
+            f"cooling loops ({pcl_count} x {PCL_POWER_W:.0f} W) cannot "
+            f"dissipate {asic_power_w:.0f} W"
+        )
+    supply_channels = math.ceil(pcl_count / PCLS_PER_SUPPLY_CHANNEL)
+
+    total_bandwidth = n_ports * port_bandwidth_gbps
+    adapter_count = math.ceil(total_bandwidth / ADAPTER_BANDWIDTH_GBPS)
+    front_panel_ru = math.ceil(adapter_count / ADAPTERS_PER_RU)
+    total_ru = front_panel_ru + MANAGEMENT_RU
+
+    return SystemArchitecture(
+        substrate_side_mm=substrate_side_mm,
+        n_ports=n_ports,
+        port_bandwidth_gbps=port_bandwidth_gbps,
+        asic_power_w=asic_power_w,
+        total_power_w=total_power,
+        psu_count=psu_count,
+        dcdc_count=dcdc_count,
+        vrm_count=vrm_count,
+        backside_component_area_mm2=backside_area,
+        pcl_count=pcl_count,
+        supply_channel_count=supply_channels,
+        adapter_count=adapter_count,
+        front_panel_ru=front_panel_ru,
+        total_ru=total_ru,
+    )
+
+
+def reference_300mm_architecture(asic_power_w: float = 45000.0) -> SystemArchitecture:
+    """The paper's 300 mm reference system (8192 x 200G, ~45 kW wafer)."""
+    return design_system_architecture(
+        substrate_side_mm=300.0,
+        n_ports=8192,
+        port_bandwidth_gbps=200.0,
+        asic_power_w=asic_power_w,
+        chiplet_array_side=12,
+    )
+
+
+def reference_200mm_architecture(asic_power_w: float = 20000.0) -> SystemArchitecture:
+    """The derived 200 mm system (4096 x 200G)."""
+    return design_system_architecture(
+        substrate_side_mm=200.0,
+        n_ports=4096,
+        port_bandwidth_gbps=200.0,
+        asic_power_w=asic_power_w,
+        chiplet_array_side=8,
+    )

@@ -1,0 +1,280 @@
+"""End-to-end use cases of a waferscale switch (Section VIII.B).
+
+Provides the comparison math behind Tables III, VI, VII, VIII, and IX:
+folded-Clos switch-network accounting (switch/cable/hop/RU counts for a
+given endpoint count and box radix), and the three deployment scenarios
+— single-switch datacenter, singular GPU cluster, and a DCN whose spine
+is built from waferscale switches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class SwitchNetwork:
+    """A folded multi-level Clos network built from discrete switch boxes."""
+
+    endpoints: int
+    box_radix: int
+    levels: int
+    switch_count: int
+    cable_count: int
+    worst_case_hops: int
+    rack_units: int
+    port_bandwidth_gbps: float
+
+    @property
+    def bisection_bandwidth_gbps(self) -> float:
+        return self.endpoints / 2.0 * self.port_bandwidth_gbps
+
+
+def clos_network_of_boxes(
+    endpoints: int,
+    box_radix: int,
+    port_bandwidth_gbps: float,
+    rack_units_per_box: int = 2,
+) -> SwitchNetwork:
+    """Size the minimal full-bisection folded Clos for the endpoints.
+
+    A folded Clos of ``L`` levels built from radix-``k`` boxes supports
+    up to ``k * (k/2)^(L-1)`` endpoints with ``(2L - 1) * N / k``
+    switches (Table VI's ``3(N/k)`` at L=2), ``N * L`` cables (one per
+    endpoint plus one per level boundary), and ``2L - 1`` worst-case
+    switch hops.
+    """
+    if endpoints < 1 or box_radix < 2:
+        raise ValueError("need endpoints >= 1 and box_radix >= 2")
+    if endpoints <= box_radix:
+        levels = 1
+    else:
+        levels = 1 + math.ceil(
+            math.log(endpoints / box_radix) / math.log(box_radix / 2)
+        )
+    if levels == 1:
+        switch_count = 1
+        cable_count = endpoints
+        hops = 1
+    else:
+        switch_count = (2 * levels - 1) * math.ceil(endpoints / box_radix)
+        cable_count = endpoints * levels
+        hops = 2 * levels - 1
+    return SwitchNetwork(
+        endpoints=endpoints,
+        box_radix=box_radix,
+        levels=levels,
+        switch_count=switch_count,
+        cable_count=cable_count,
+        worst_case_hops=hops,
+        rack_units=switch_count * rack_units_per_box,
+        port_bandwidth_gbps=port_bandwidth_gbps,
+    )
+
+
+def microarchitecture_chiplet_counts(
+    n_ports: int, ssc_radix: int
+) -> Dict[str, int]:
+    """Chiplets needed by Clos vs hierarchical/modular crossbar (Table VI).
+
+    A Clos needs ``3(N/k)`` chiplets; hierarchical and modular crossbars
+    both need a full ``(N/k)^2`` array.
+    """
+    if n_ports % ssc_radix != 0:
+        raise ValueError("n_ports must be a multiple of the SSC radix")
+    blocks = n_ports // ssc_radix
+    return {
+        "clos": 3 * blocks,
+        "hierarchical-crossbar": blocks * blocks,
+        "modular-crossbar": blocks * blocks,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table III: modular routers vs waferscale switches
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RouterComparisonRow:
+    """One column of Table III."""
+
+    name: str
+    space_ru: float
+    total_bandwidth_tbps: float
+    port_count_200g: int
+    total_power_kw: float
+
+    @property
+    def power_per_port_w(self) -> float:
+        return self.total_power_kw * 1000.0 / self.port_count_200g
+
+    @property
+    def capacity_density_tbps_per_ru(self) -> float:
+        return self.total_bandwidth_tbps / self.space_ru
+
+
+#: Commercial modular router datapoints the paper compares against.
+MODULAR_ROUTERS = (
+    RouterComparisonRow("Cisco Nexus 9800", 16, 115.2, 576, 11.2),
+    RouterComparisonRow("Juniper PTX10000", 21, 230.4, 1152, 25.9),
+    RouterComparisonRow("Huawei NE8000", 15.8, 115.2, 576, 11.0),
+)
+
+
+def waferscale_router_row(
+    substrate_side_mm: float, n_ports: int, total_power_w: float, rack_units: int
+) -> RouterComparisonRow:
+    """Build the WS column of Table III from a sized design."""
+    return RouterComparisonRow(
+        name=f"WS ({substrate_side_mm:g}mm)",
+        space_ru=rack_units,
+        total_bandwidth_tbps=n_ports * 200.0 / 1000.0,
+        port_count_200g=n_ports,
+        total_power_kw=total_power_w / 1000.0,
+    )
+
+
+def modular_switch_comparison(
+    ws_rows: List[RouterComparisonRow],
+) -> List[RouterComparisonRow]:
+    """Table III: the three commercial routers plus the WS designs."""
+    return list(MODULAR_ROUTERS) + list(ws_rows)
+
+
+# ----------------------------------------------------------------------
+# Table VII: single-switch datacenter
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DeploymentComparison:
+    """A waferscale deployment vs its conventional switch-network twin."""
+
+    label: str
+    endpoints: int
+    ws_switches: int
+    ws_cables: int
+    ws_hops: int
+    ws_rack_units: int
+    baseline_switches: int
+    baseline_cables: int
+    baseline_hops: int
+    baseline_rack_units: int
+    port_bandwidth_gbps: float
+
+    @property
+    def bisection_bandwidth_gbps(self) -> float:
+        return self.endpoints / 2.0 * self.port_bandwidth_gbps
+
+    @property
+    def cable_reduction(self) -> float:
+        return 1.0 - self.ws_cables / self.baseline_cables
+
+    @property
+    def rack_space_reduction(self) -> float:
+        return 1.0 - self.ws_rack_units / self.baseline_rack_units
+
+
+def datacenter_comparison(
+    servers: int = 8192,
+    ws_rack_units: int = 20,
+    th5_radix: int = 256,
+) -> DeploymentComparison:
+    """Table VII: single-switch datacenter vs an equivalent TH-5 Clos."""
+    baseline = clos_network_of_boxes(servers, th5_radix, 200.0)
+    return DeploymentComparison(
+        label=f"single-switch datacenter ({servers} servers)",
+        endpoints=servers,
+        ws_switches=1,
+        ws_cables=servers,
+        ws_hops=1,
+        ws_rack_units=ws_rack_units,
+        baseline_switches=baseline.switch_count,
+        baseline_cables=baseline.cable_count,
+        baseline_hops=baseline.worst_case_hops,
+        baseline_rack_units=baseline.rack_units,
+        port_bandwidth_gbps=200.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VIII: singular GPU cluster
+# ----------------------------------------------------------------------
+
+#: DGX GH200 NVSwitch-network reference values (the paper's baseline).
+NVSWITCH_BASELINE = {
+    "gpus": 256,
+    "switches": 132,
+    "cables": 2304,
+    "hops": 3,
+    "rack_units": 195,
+    "port_bandwidth_gbps": 900.0,
+    "bisection_tbps": 115.2,
+}
+
+
+def gpu_cluster_comparison(
+    gpus: int = 2048,
+    ws_rack_units: int = 20,
+    port_bandwidth_gbps: float = 800.0,
+) -> DeploymentComparison:
+    """Table VIII: singular GPU on a WS switch vs an NVSwitch network."""
+    return DeploymentComparison(
+        label=f"singular GPU ({gpus} GPUs @ {port_bandwidth_gbps:g}G)",
+        endpoints=gpus,
+        ws_switches=1,
+        ws_cables=gpus,
+        ws_hops=1,
+        ws_rack_units=ws_rack_units,
+        baseline_switches=NVSWITCH_BASELINE["switches"],
+        baseline_cables=NVSWITCH_BASELINE["cables"],
+        baseline_hops=NVSWITCH_BASELINE["hops"],
+        baseline_rack_units=NVSWITCH_BASELINE["rack_units"],
+        port_bandwidth_gbps=port_bandwidth_gbps,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table IX: hyperscale DCN spine
+# ----------------------------------------------------------------------
+
+def dcn_comparison(
+    racks: int = 16384,
+    links_per_rack: int = 2,
+    link_bandwidth_gbps: float = 800.0,
+    ws_box_radix: int = 2048,
+    ws_rack_units_per_box: int = 20,
+    baseline_box_radix: int = 64,
+    baseline_rack_units_per_box: int = 2,
+) -> DeploymentComparison:
+    """Table IX: DCN spine built from WS switches vs TH-5 boxes.
+
+    Each rack's TOR connects upward with ``links_per_rack`` links; the
+    spine is the minimal full-bisection folded Clos over those uplinks,
+    built either from 2048 x 800G waferscale switches or from TH-5
+    boxes in their 64 x 800G configuration.
+    """
+    uplinks = racks * links_per_rack
+    ws = clos_network_of_boxes(
+        uplinks, ws_box_radix, link_bandwidth_gbps, ws_rack_units_per_box
+    )
+    baseline = clos_network_of_boxes(
+        uplinks,
+        baseline_box_radix,
+        link_bandwidth_gbps,
+        baseline_rack_units_per_box,
+    )
+    return DeploymentComparison(
+        label=f"DCN spine ({racks} racks x {links_per_rack} uplinks)",
+        endpoints=uplinks,
+        ws_switches=ws.switch_count,
+        ws_cables=ws.cable_count,
+        ws_hops=ws.worst_case_hops,
+        ws_rack_units=ws.rack_units,
+        baseline_switches=baseline.switch_count,
+        baseline_cables=baseline.cable_count,
+        baseline_hops=baseline.worst_case_hops,
+        baseline_rack_units=baseline.rack_units,
+        port_bandwidth_gbps=link_bandwidth_gbps,
+    )

@@ -1,0 +1,89 @@
+"""Shared experiment-result structure and registry."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+#: Experiment ids in paper order.
+EXPERIMENT_IDS = (
+    "fig01",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "fig25",
+    "fig26",
+    "fig27",
+    "fig28",
+    "tab03",
+    "tab06",
+    "tab07",
+    "tab08",
+    "tab09",
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows/series reproducing one paper artifact."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Tuple]
+    notes: List[str] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Plain-text table in the style of the paper's artifacts."""
+        columns = [str(h) for h in self.headers]
+        str_rows = [[_fmt(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(columns[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(columns[i])
+            for i in range(len(columns))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in str_rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}" if abs(cell) < 1000 else f"{cell:,.0f}"
+    return str(cell)
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The ``run`` callable of an experiment module, by id."""
+    if experiment_id not in EXPERIMENT_IDS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: {EXPERIMENT_IDS}"
+        )
+    module = importlib.import_module(f"repro.experiments.{experiment_id}")
+    return module.run
+
+
+def available_experiments() -> Tuple[str, ...]:
+    return EXPERIMENT_IDS

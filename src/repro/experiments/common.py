@@ -1,0 +1,48 @@
+"""Shared knobs for experiments: fast (test) vs full (benchmark) scale.
+
+The analytical experiments are exact but the pairwise-exchange mapping
+of the largest (8192-port, 96-chiplet) designs takes ~1 minute; fast
+mode restricts substrate sweeps to 100/200 mm and single-restart
+mappings. Simulation experiments likewise scale the network down in
+fast mode; the paper's qualitative comparisons are preserved at both
+scales.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+#: Substrate sides (mm) swept by the paper's figures.
+FULL_SUBSTRATES: Tuple[float, ...] = (100.0, 200.0, 300.0)
+FAST_SUBSTRATES: Tuple[float, ...] = (100.0, 200.0)
+
+
+def substrates(fast: bool) -> Sequence[float]:
+    return FAST_SUBSTRATES if fast else FULL_SUBSTRATES
+
+
+def mapping_restarts(fast: bool) -> int:
+    return 1 if fast else 2
+
+
+def sim_scale(fast: bool) -> dict:
+    """Simulator sizing: terminals, SSC radix, run lengths."""
+    if fast:
+        return {
+            "n_terminals": 64,
+            "ssc_radix": 16,
+            "num_vcs": 4,
+            "buffer_flits_per_port": 16,
+            "warmup_cycles": 300,
+            "measure_cycles": 700,
+            "loads": (0.1, 0.3, 0.5, 0.7, 0.9),
+        }
+    return {
+        "n_terminals": 256,
+        "ssc_radix": 32,
+        "num_vcs": 8,
+        "buffer_flits_per_port": 32,
+        "warmup_cycles": 500,
+        "measure_cycles": 1500,
+        "loads": (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    }

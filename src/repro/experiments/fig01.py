@@ -1,0 +1,46 @@
+"""Fig 1: switch radix/bandwidth scaling and package pin-density scaling.
+
+Paper claims: 2010-2022 total switching bandwidth grew far faster than
+maximum radix (~8x radix growth), and BGA/LGA pin densities grew only
+8x / 2.6x over 24 years — the motivation for growing the substrate
+instead of the I/O density.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.tech.data import (
+    PACKAGING_DENSITY,
+    SWITCH_SCALING_2010_2022,
+    bandwidth_growth_factor,
+    packaging_growth_factor,
+    radix_growth_factor,
+)
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast  # dataset-driven; no heavy computation
+    rows = []
+    for gen in SWITCH_SCALING_2010_2022:
+        rows.append(
+            ("switch", gen.year, gen.name, gen.radix, gen.total_bandwidth_tbps)
+        )
+    for sample in PACKAGING_DENSITY:
+        rows.append(
+            ("package", sample.year, sample.technology, "", sample.pins_per_mm2)
+        )
+    return ExperimentResult(
+        experiment_id="fig01",
+        title="Radix/bandwidth scaling (a) and package pin density (b)",
+        headers=("series", "year", "name", "radix", "Tbps or pins/mm2"),
+        rows=rows,
+        notes=[
+            f"radix growth 2010-2022: {radix_growth_factor():.0f}x "
+            "(paper: 8x)",
+            f"bandwidth growth 2010-2022: {bandwidth_growth_factor():.0f}x",
+            f"BGA pin-density growth: {packaging_growth_factor('BGA'):.1f}x "
+            "(paper: 8x)",
+            f"LGA pin-density growth: {packaging_growth_factor('LGA'):.1f}x "
+            "(paper: 2.6x)",
+        ],
+    )

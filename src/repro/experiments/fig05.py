@@ -1,0 +1,65 @@
+"""Fig 5: random mapping vs pairwise-exchange-optimized mapping.
+
+Paper claim: the heuristic improves worst-case internal I/O bandwidth
+per port by ~147.6 % over an unoptimized random mapping.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.base import ExperimentResult
+from repro.mapping.exchange import optimize_mapping
+from repro.mapping.grid import grid_for
+from repro.mapping.placement import initial_placement
+from repro.mapping.routing import IOStyle, compute_edge_loads
+from repro.topology.clos import folded_clos
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    port_counts = (1024, 2048) if fast else (1024, 2048, 4096)
+    rows = []
+    improvements = []
+    for n_ports in port_counts:
+        topology = folded_clos(n_ports)
+        grid = grid_for(topology.chiplet_count)
+        random_loads = []
+        for seed in range(3):
+            placement = initial_placement(
+                topology, grid, strategy="random", rng=random.Random(seed)
+            )
+            loads = compute_edge_loads(placement, IOStyle.PERIPHERY)
+            random_loads.append(loads.max_edge_channels)
+        random_worst = sum(random_loads) / len(random_loads)
+        optimized = optimize_mapping(
+            topology, grid, io_style=IOStyle.PERIPHERY, restarts=1
+        )
+        # Bandwidth per port is inversely proportional to the worst edge
+        # load, so the improvement is the load ratio minus one.
+        improvement = (random_worst / optimized.max_edge_channels - 1.0) * 100.0
+        improvements.append(improvement)
+        rows.append(
+            (
+                n_ports,
+                round(random_worst, 1),
+                optimized.max_edge_channels,
+                round(improvement, 1),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig05",
+        title="Random vs optimized mapping (worst-edge channel load)",
+        headers=(
+            "switch radix",
+            "random max-load (avg of 3 seeds)",
+            "optimized max-load",
+            "per-port BW improvement %",
+        ),
+        rows=rows,
+        notes=[
+            "paper: optimization improves worst-case internal I/O "
+            "bandwidth per port by 147.6%",
+            f"measured improvement range: "
+            f"{min(improvements):.0f}%-{max(improvements):.0f}%",
+        ],
+    )

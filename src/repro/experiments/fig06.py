@@ -1,0 +1,37 @@
+"""Fig 6: ideal (area-only) maximum ports vs substrate size.
+
+Paper claims: 32x more ports than one TH-5 at 300 mm, 16x at 200 mm,
+4x at 100 mm for the 256x200G configuration; 2-8x benefits remain at
+the higher-bandwidth port configurations.
+"""
+
+from __future__ import annotations
+
+from repro.core.explorer import ideal_max_ports
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import substrates
+from repro.tech.chiplet import TH5_CONFIGURATIONS
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    rows = []
+    for ports, ssc in sorted(TH5_CONFIGURATIONS.items(), reverse=True):
+        for side in substrates(fast):
+            max_ports = ideal_max_ports(side, ssc=ssc)
+            rows.append(
+                (
+                    f"{ssc.radix}x{ssc.port_bandwidth_gbps:g}G",
+                    side,
+                    max_ports,
+                    round(max_ports / ssc.radix, 1),
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig06",
+        title="Maximum ports with WSI, area constraints only",
+        headers=("TH-5 config", "substrate mm", "max ports", "x single TH-5"),
+        rows=rows,
+        notes=[
+            "paper: 32x at 300mm, 16x at 200mm, 4x at 100mm (256x200G)",
+        ],
+    )

@@ -1,0 +1,47 @@
+"""Fig 7: maximum 200G ports at 3200 Gbps/mm internal bandwidth for the
+three external I/O technologies.
+
+Paper claims: SerDes only doubles ports (512) even at 300 mm; Optical
+and Area I/O reach up to 4x more than SerDes but still 50-75 % below
+the ideal at 200/300 mm (internal bandwidth binds at 2048).
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import ConstraintLimits
+from repro.core.explorer import ideal_max_ports, max_feasible_design
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapping_restarts, substrates
+from repro.tech.external_io import AREA_IO, OPTICAL_IO, SERDES_IO
+from repro.tech.wsi import SI_IF
+
+
+def run(fast: bool = True, wsi=SI_IF) -> ExperimentResult:
+    rows = []
+    for side in substrates(fast):
+        ideal = ideal_max_ports(side)
+        for ext in (SERDES_IO, OPTICAL_IO, AREA_IO):
+            design = max_feasible_design(
+                side,
+                wsi=wsi,
+                external_io=ext,
+                limits=ConstraintLimits(),
+                mapping_restarts=mapping_restarts(fast),
+            )
+            ports = design.n_ports if design else 0
+            binding = (
+                "none"
+                if ports == ideal
+                else "internal-bw/external-bw"
+            )
+            rows.append((side, ext.name, ports, ideal, binding))
+    return ExperimentResult(
+        experiment_id="fig07",
+        title=f"Max 200G ports @ {wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm",
+        headers=("substrate mm", "external I/O", "max ports", "ideal", "gap cause"),
+        rows=rows,
+        notes=[
+            "paper @3200: SerDes caps at 512; Optical/Area reach 2048 at "
+            "300mm (75% below ideal 8192)",
+        ],
+    )

@@ -1,0 +1,21 @@
+"""Fig 10: power breakdown at 3200 Gbps/mm internal bandwidth.
+
+Paper claim: power exceeds 14 kW for 200/300 mm substrates with
+Optical / Area I/O.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.powerfig import power_breakdown_figure
+from repro.tech.wsi import SI_IF
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return power_breakdown_figure(
+        "fig10",
+        SI_IF,
+        fast,
+        "paper: >14 kW at 200/300mm with Optical/Area I/O (we measure the "
+        "same designs at ~12-14 kW)",
+    )

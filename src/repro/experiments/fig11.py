@@ -1,0 +1,22 @@
+"""Fig 11: power breakdown at 6400 Gbps/mm internal bandwidth.
+
+Paper claims: up to 62 kW for the 8192-port switch — up to 3.5x the
+3200 Gbps/mm power — with internal + external I/O making up
+33 %-43.8 % of the total.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.powerfig import power_breakdown_figure
+from repro.tech.wsi import SI_IF_OVERDRIVEN
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return power_breakdown_figure(
+        "fig11",
+        SI_IF_OVERDRIVEN,
+        fast,
+        "paper: 62 kW at 8192 ports; I/O share 33-43.8% (we measure "
+        "~61.6 kW, 37.6% at 300mm/Optical)",
+    )

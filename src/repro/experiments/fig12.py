@@ -1,0 +1,25 @@
+"""Fig 12: maximum ports with InFO-SoW (12.8 Tbps/mm internal).
+
+Paper claim: InFO-SoW achieves the same port counts as 6400 Gbps/mm
+Si-IF (internal bandwidth is no longer the binding constraint).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig07 import run as run_fig07
+from repro.tech.wsi import INFO_SOW
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    result = run_fig07(fast=fast, wsi=INFO_SOW)
+    return ExperimentResult(
+        experiment_id="fig12",
+        title=result.title,
+        headers=result.headers,
+        rows=result.rows,
+        notes=[
+            "paper: same max ports as 6400 Gbps/mm Si-IF "
+            "(area/external-bandwidth limited)",
+        ],
+    )

@@ -1,0 +1,22 @@
+"""Fig 13: power breakdown with InFO-SoW internal interconnect.
+
+Paper claim: the package draws ~92.5 kW at the 8192-port design point —
+InFO-SoW's 1.5 pJ/bit makes internal I/O power dominate, which is why
+the paper keeps Si-IF as its primary WSI technology.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.powerfig import power_breakdown_figure
+from repro.tech.wsi import INFO_SOW
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return power_breakdown_figure(
+        "fig13",
+        INFO_SOW,
+        fast,
+        "paper: ~92.5 kW total; internal I/O share grows with InFO-SoW's "
+        "1.5 pJ/bit links",
+    )

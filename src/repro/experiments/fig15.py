@@ -1,0 +1,78 @@
+"""Fig 15: commodity switch power vs radix, normalized to 5 nm.
+
+Paper claim: Tomahawk and TeraLynx non-I/O powers, normalized with
+Stillmaker-Baas process scaling, track a quadratic model in radix.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.tech.data import TERALYNX_SERIES, TOMAHAWK_SERIES
+from repro.tech.power import quadratic_power_fit
+from repro.tech.process import normalize_power_to_node
+from repro.units import io_power_watts
+
+
+def _non_io_power_w(gen) -> float:
+    """Reported power minus I/O power at 2 pJ/bit (the paper's method)."""
+    io_power = io_power_watts(gen.total_bandwidth_tbps * 1000.0, 2.0)
+    return max(gen.reported_power_w - io_power, 1.0)
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    rows = []
+    fits = []
+    for series_name, series in (
+        ("Tomahawk", TOMAHAWK_SERIES),
+        ("TeraLynx", TERALYNX_SERIES),
+    ):
+        radixes = []
+        normalized = []
+        for gen in series:
+            power = normalize_power_to_node(
+                _non_io_power_w(gen), gen.process_node_nm, 5
+            )
+            radixes.append(gen.radix)
+            normalized.append(power)
+            rows.append(
+                (
+                    series_name,
+                    gen.name,
+                    gen.radix,
+                    gen.process_node_nm,
+                    round(_non_io_power_w(gen), 1),
+                    round(power, 1),
+                )
+            )
+        coefficient, rms = quadratic_power_fit(radixes, normalized)
+        fits.append((series_name, coefficient, rms))
+        for gen in series:
+            rows.append(
+                (
+                    f"{series_name}-fit",
+                    f"a*k^2 (a={coefficient:.4f})",
+                    gen.radix,
+                    5,
+                    "",
+                    round(coefficient * gen.radix**2, 1),
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Normalized non-I/O switch power vs radix + quadratic fits",
+        headers=(
+            "series",
+            "part",
+            "radix",
+            "node nm",
+            "non-I/O W (reported)",
+            "normalized to 5nm W",
+        ),
+        rows=rows,
+        notes=[
+            f"{name}: quadratic fit rms relative error {rms * 100:.0f}% "
+            "(paper: power tracks quadratic scaling)"
+            for name, _, rms in fits
+        ],
+    )

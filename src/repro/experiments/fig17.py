@@ -1,0 +1,42 @@
+"""Fig 17: maximum ports vs SSC deradixing at 3200 Gbps/mm.
+
+Paper claims: at 300 mm, halving SSC radix (256 -> 128) doubles the
+achievable switch radix from 2048 to 4096; quartering over-deradixes
+(area runs out first).
+"""
+
+from __future__ import annotations
+
+from repro.core.deradix import deradix_sweep
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapping_restarts, substrates
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF, WSITechnology
+
+
+def run(fast: bool = True, wsi: WSITechnology = SI_IF) -> ExperimentResult:
+    rows = []
+    for side in substrates(fast):
+        sweep = deradix_sweep(
+            side,
+            wsi=wsi,
+            external_io=OPTICAL_IO,
+            factors=(1, 2, 4),
+            mapping_restarts=mapping_restarts(fast),
+        )
+        for factor in sorted(sweep):
+            point = sweep[factor]
+            rows.append((side, factor, point.ssc_radix, point.max_ports))
+    return ExperimentResult(
+        experiment_id="fig17",
+        title=(
+            "Max ports vs deradix factor "
+            f"(Optical I/O, {wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm)"
+        ),
+        headers=("substrate mm", "deradix factor", "SSC radix", "max ports"),
+        rows=rows,
+        notes=[
+            "paper @3200/300mm: 256-port SSC -> 2048, 128-port SSC -> 4096 "
+            "(2x), 64-port SSC regresses",
+        ],
+    )

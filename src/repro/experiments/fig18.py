@@ -1,0 +1,26 @@
+"""Fig 18: deradixing at 6400 Gbps/mm — counterproductive where the
+internal bandwidth is already sufficient.
+
+Paper claim: at 6400 Gbps/mm the baseline 256-port SSC already achieves
+the area-limited maximum, so deradixing only reduces achievable ports.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig17 import run as run_fig17
+from repro.tech.wsi import SI_IF_OVERDRIVEN
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    result = run_fig17(fast=fast, wsi=SI_IF_OVERDRIVEN)
+    return ExperimentResult(
+        experiment_id="fig18",
+        title=result.title,
+        headers=result.headers,
+        rows=result.rows,
+        notes=[
+            "paper @6400: internal bandwidth already sufficient; "
+            "deradixing reduces max ports (area bound)",
+        ],
+    )

@@ -1,0 +1,64 @@
+"""Fig 19: available internal bandwidth per port, 256 vs 128-port SSCs.
+
+Paper claim (300 mm @3200): with 256-port SSCs only the 2048-port
+system meets the 200 Gbps/port requirement (4096/8192 violate it); with
+deradixed 128-port SSCs the 4096-port system meets it.
+"""
+
+from __future__ import annotations
+
+from repro.core.design import cached_mapping, io_style_for
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapping_restarts
+from repro.mapping.routing import available_bandwidth_per_port_gbps
+from repro.tech.chiplet import tomahawk5
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF
+from repro.topology.clos import folded_clos
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    side = 300.0
+    max_chiplets = int(side * side // tomahawk5().area_mm2)
+    system_radixes = (1024, 2048) if fast else (2048, 4096, 8192)
+    rows = []
+    for factor in (1, 2):
+        ssc = tomahawk5().deradixed(factor)
+        for n_ports in system_radixes:
+            chiplets = 3 * n_ports // ssc.radix
+            if chiplets > max_chiplets:
+                rows.append(
+                    (ssc.radix, n_ports, chiplets, "-", "exceeds area")
+                )
+                continue
+            topology = folded_clos(n_ports, ssc)
+            mapping = cached_mapping(
+                topology,
+                io_style_for(OPTICAL_IO),
+                restarts=mapping_restarts(fast),
+            )
+            available = available_bandwidth_per_port_gbps(
+                mapping.loads,
+                SI_IF.edge_capacity_gbps(ssc.side_mm),
+                topology.port_bandwidth_gbps,
+            )
+            verdict = "meets 200G" if available >= 200.0 else "VIOLATES 200G"
+            rows.append(
+                (ssc.radix, n_ports, chiplets, round(available, 1), verdict)
+            )
+    return ExperimentResult(
+        experiment_id="fig19",
+        title="Available internal I/O bandwidth per port (300mm @3200)",
+        headers=(
+            "SSC radix",
+            "system radix",
+            "chiplets",
+            "available Gbps/port",
+            "verdict",
+        ),
+        rows=rows,
+        notes=[
+            "paper: 256-port SSCs meet 200G only at 2048; 128-port SSCs "
+            "meet it at 4096",
+        ],
+    )

@@ -1,0 +1,73 @@
+"""Fig 25: non-Clos topologies — ideal, constrained, and optimized.
+
+Paper claims: in the ideal case non-Clos topologies also gain orders of
+magnitude (mesh/butterfly slightly above Clos); under area/bandwidth/
+power constraints the benefits collapse; deradixing + heterogeneity
+reclaim much of the gap. Dragonfly and flattened butterfly trail Clos
+by 1.7x-3.2x (direct topologies need more external bandwidth).
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import AREA_ONLY, ConstraintLimits
+from repro.core.deradix import best_deradix_factor, deradix_sweep
+from repro.core.explorer import max_feasible_design
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapping_restarts
+from repro.tech.cooling import WATER_COOLING
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF
+
+FAMILIES = ("clos", "mesh", "butterfly", "dragonfly", "flattened-butterfly")
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    side = 200.0 if fast else 300.0
+    restarts = mapping_restarts(fast)
+    constrained_limits = ConstraintLimits(cooling=WATER_COOLING)
+    rows = []
+    for family in FAMILIES:
+        ideal = max_feasible_design(
+            side, external_io=None, limits=AREA_ONLY, family=family
+        )
+        constrained = max_feasible_design(
+            side,
+            wsi=SI_IF,
+            external_io=OPTICAL_IO,
+            limits=constrained_limits,
+            family=family,
+            mapping_restarts=restarts,
+        )
+        if family == "clos":
+            # Optimizations: deradixing sweep (heterogeneity affects
+            # power, which water cooling already accommodates here).
+            sweep = deradix_sweep(
+                side,
+                wsi=SI_IF,
+                external_io=OPTICAL_IO,
+                limits=constrained_limits,
+                mapping_restarts=restarts,
+            )
+            optimized_ports = sweep[best_deradix_factor(sweep)].max_ports
+        else:
+            optimized_ports = constrained.n_ports if constrained else 0
+        rows.append(
+            (
+                family,
+                ideal.n_ports if ideal else 0,
+                constrained.n_ports if constrained else 0,
+                optimized_ports,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig25",
+        title=f"Non-Clos topologies at {side:g}mm: ideal / constrained / optimized",
+        headers=("topology", "ideal ports", "constrained ports", "optimized ports"),
+        rows=rows,
+        notes=[
+            "paper: mesh/butterfly ~10% above Clos ideal; dragonfly and "
+            "flattened butterfly 1.7x-3.2x below Clos once constrained "
+            "(direct topologies need more external bandwidth)",
+            "optimized column applies subswitch deradixing (Clos family)",
+        ],
+    )

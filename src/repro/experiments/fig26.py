@@ -1,0 +1,73 @@
+"""Fig 26: mapped Clos vs physical Clos (ports and iso-radix power).
+
+Paper claims: a physically wired Clos always reaches a lower radix than
+the mapped Clos (dedicated links consume placement area), and burns
+~10 % more power at iso-radix.
+"""
+
+from __future__ import annotations
+
+from repro.core.design import evaluate_design
+from repro.core.explorer import max_feasible_design
+from repro.core.physical_clos import evaluate_physical_clos, max_physical_clos_ports
+from repro.topology.clos import folded_clos
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapping_restarts
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF, WSITechnology
+from repro.tech.wsi import INFO_SOW
+
+
+def _high_density_wsi() -> WSITechnology:
+    """The paper's 12.8 Tbps/mm comparison point (InFO-SoW-class)."""
+    return INFO_SOW
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    side = 200.0 if fast else 300.0
+    restarts = mapping_restarts(fast)
+    rows = []
+    power_notes = []
+    for wsi in (SI_IF, _high_density_wsi()):
+        mapped = max_feasible_design(
+            side,
+            wsi=wsi,
+            external_io=OPTICAL_IO,
+            mapping_restarts=restarts,
+        )
+        physical_ports = max_physical_clos_ports(side, wsi, OPTICAL_IO)
+        rows.append(
+            (
+                f"{wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm",
+                mapped.n_ports if mapped else 0,
+                physical_ports,
+            )
+        )
+        # Iso-radix power comparison at the physical Clos's radix.
+        if physical_ports and mapped:
+            iso = min(physical_ports, mapped.n_ports)
+            physical = evaluate_physical_clos(side, iso, wsi, OPTICAL_IO)
+            mapped_iso = evaluate_design(
+                side,
+                folded_clos(iso),
+                wsi,
+                OPTICAL_IO,
+                mapping_restarts=restarts,
+            )
+            overhead = physical.power.total_w / mapped_iso.power.total_w - 1.0
+            power_notes.append(
+                f"{wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm iso-radix "
+                f"(N={iso}) power overhead of physical Clos: "
+                f"{overhead * 100:+.0f}% (paper: ~+10%)"
+            )
+    return ExperimentResult(
+        experiment_id="fig26",
+        title=f"Mapped Clos vs physical Clos at {side:g}mm (Optical I/O)",
+        headers=("internal BW", "mapped Clos ports", "physical Clos ports"),
+        rows=rows,
+        notes=[
+            "paper: physical Clos always reaches a lower radix than "
+            "mapped Clos",
+            *power_notes,
+        ],
+    )

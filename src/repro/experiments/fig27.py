@@ -1,0 +1,48 @@
+"""Fig 27: sensitivity of maximum radix to internal bandwidth density.
+
+Paper claim: beyond a few doublings of internal bandwidth density the
+substrate area becomes the bottleneck and the curve flattens at the
+ideal (area-only) radix.
+"""
+
+from __future__ import annotations
+
+from repro.core.explorer import ideal_max_ports, max_feasible_design
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapping_restarts
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    side = 200.0 if fast else 300.0
+    multipliers = (0.5, 1.0, 2.0, 4.0) if fast else (0.5, 1.0, 2.0, 4.0, 8.0)
+    ideal = ideal_max_ports(side)
+    rows = []
+    for multiplier in multipliers:
+        wsi = SI_IF if multiplier == 1.0 else SI_IF.overdriven(multiplier)
+        design = max_feasible_design(
+            side,
+            wsi=wsi,
+            external_io=OPTICAL_IO,
+            mapping_restarts=mapping_restarts(fast),
+        )
+        ports = design.n_ports if design else 0
+        rows.append(
+            (
+                round(wsi.bandwidth_density_gbps_per_mm),
+                ports,
+                ideal,
+                "area-limited" if ports == ideal else "bandwidth-limited",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig27",
+        title=f"Max ports vs internal bandwidth density ({side:g}mm, Optical I/O)",
+        headers=("internal Gbps/mm", "max ports", "ideal ports", "binding"),
+        rows=rows,
+        notes=[
+            "paper: the curve saturates at the area-limited radix once "
+            "internal bandwidth density is a few x higher",
+        ],
+    )

@@ -1,0 +1,59 @@
+"""Fig 28: maximum ports per cooling solution (after heterogeneity).
+
+Paper claims: even air cooling supports ~8x a single TH-5's radix and
+water cooling ~32x; multi-phase cooling is needed for the full benefit
+at every wafer size.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import ConstraintLimits
+from repro.core.explorer import clos_radix_candidates, max_chiplets_for
+from repro.core.design import evaluate_design
+from repro.core.hetero import apply_heterogeneity
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapping_restarts, substrates
+from repro.tech.chiplet import tomahawk5
+from repro.tech.cooling import AIR_COOLING, MULTIPHASE_COOLING, WATER_COOLING
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF_OVERDRIVEN
+from repro.topology.clos import folded_clos
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    ssc = tomahawk5()
+    rows = []
+    for side in substrates(fast):
+        candidates = clos_radix_candidates(ssc, max_chiplets_for(side, ssc))
+        for cooling in (AIR_COOLING, WATER_COOLING, MULTIPHASE_COOLING):
+            best = 0
+            for n_ports in candidates:
+                design = evaluate_design(
+                    side,
+                    folded_clos(n_ports, ssc),
+                    SI_IF_OVERDRIVEN,
+                    OPTICAL_IO,
+                    limits=ConstraintLimits(),
+                    mapping_restarts=mapping_restarts(fast),
+                )
+                if not design.feasible:
+                    break
+                hetero = apply_heterogeneity(design, leaf_split=4)
+                if (
+                    hetero.power_density_w_per_mm2
+                    <= cooling.max_power_density_w_per_mm2
+                ):
+                    best = n_ports
+            rows.append(
+                (side, cooling.name, best, round(best / ssc.radix, 1))
+            )
+    return ExperimentResult(
+        experiment_id="fig28",
+        title="Max ports per cooling solution (heterogeneous design, @6400)",
+        headers=("substrate mm", "cooling", "max ports", "x single TH-5"),
+        rows=rows,
+        notes=[
+            "paper: air ~8x, water ~32x a single TH-5 at 300mm; "
+            "multi-phase recommended for full benefits",
+        ],
+    )

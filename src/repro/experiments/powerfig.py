@@ -1,0 +1,59 @@
+"""Shared implementation of the power-breakdown figures (10, 11, 13)."""
+
+from __future__ import annotations
+
+from repro.core.explorer import max_feasible_design
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapping_restarts, substrates
+from repro.tech.external_io import AREA_IO, OPTICAL_IO, SERDES_IO
+from repro.tech.wsi import WSITechnology
+
+
+def power_breakdown_figure(
+    experiment_id: str, wsi: WSITechnology, fast: bool, paper_note: str
+) -> ExperimentResult:
+    """Power breakdown at each technology's maximum feasible radix."""
+    rows = []
+    for side in substrates(fast):
+        for ext in (SERDES_IO, OPTICAL_IO, AREA_IO):
+            design = max_feasible_design(
+                side,
+                wsi=wsi,
+                external_io=ext,
+                mapping_restarts=mapping_restarts(fast),
+            )
+            if design is None:
+                rows.append((side, ext.name, 0, 0.0, 0.0, 0.0, 0.0, 0.0))
+                continue
+            power = design.power
+            rows.append(
+                (
+                    side,
+                    ext.name,
+                    design.n_ports,
+                    round(power.ssc_core_w / 1000, 2),
+                    round(power.internal_io_w / 1000, 2),
+                    round(power.external_io_w / 1000, 2),
+                    round(power.total_w / 1000, 2),
+                    round(power.io_fraction * 100, 1),
+                )
+            )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=(
+            "Power breakdown at max feasible radix "
+            f"({wsi.name}, {wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm)"
+        ),
+        headers=(
+            "substrate mm",
+            "external I/O",
+            "ports",
+            "SSC core kW",
+            "internal I/O kW",
+            "external I/O kW",
+            "total kW",
+            "I/O share %",
+        ),
+        rows=rows,
+        notes=[paper_note],
+    )

@@ -1,0 +1,50 @@
+"""Run experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments.runner            # all, fast mode
+    python -m repro.experiments.runner fig07      # one experiment
+    python -m repro.experiments.runner --full     # full-scale runs
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.experiments.base import (
+    EXPERIMENT_IDS,
+    ExperimentResult,
+    get_experiment,
+)
+
+
+def run_experiments(
+    ids: Optional[Sequence[str]] = None, fast: bool = True
+) -> List[ExperimentResult]:
+    """Run the given experiments (all when ids is None)."""
+    selected = list(ids) if ids else list(EXPERIMENT_IDS)
+    results = []
+    for experiment_id in selected:
+        results.append(get_experiment(experiment_id)(fast=fast))
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    fast = True
+    if "--full" in args:
+        fast = False
+        args.remove("--full")
+    ids = args or None
+    start = time.time()
+    for result in run_experiments(ids, fast=fast):
+        print(result.format_table())
+        print()
+    print(f"[{time.time() - start:.1f}s total, fast={fast}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

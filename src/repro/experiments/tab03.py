@@ -1,0 +1,59 @@
+"""Table III: modular switches vs waferscale switches.
+
+Paper claims: WS switches offer 7.1x-14.2x more ports (300 mm) than
+modular routers, ~6.1 W/port, and 7.5x-11.4x higher capacity density.
+"""
+
+from __future__ import annotations
+
+from repro.core.system_arch import (
+    reference_200mm_architecture,
+    reference_300mm_architecture,
+)
+from repro.core.use_cases import modular_switch_comparison, waferscale_router_row
+from repro.experiments.base import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    arch_300 = reference_300mm_architecture()
+    arch_200 = reference_200mm_architecture()
+    ws_rows = [
+        waferscale_router_row(
+            300, arch_300.n_ports, arch_300.total_power_w, arch_300.total_ru
+        ),
+        waferscale_router_row(
+            200, arch_200.n_ports, arch_200.total_power_w, arch_200.total_ru
+        ),
+    ]
+    rows = []
+    for row in modular_switch_comparison(ws_rows):
+        rows.append(
+            (
+                row.name,
+                row.space_ru,
+                row.total_bandwidth_tbps,
+                row.port_count_200g,
+                row.total_power_kw,
+                round(row.power_per_port_w, 1),
+                round(row.capacity_density_tbps_per_ru, 1),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="tab03",
+        title="Modular switches vs waferscale switches",
+        headers=(
+            "router",
+            "space RU",
+            "total Tbps",
+            "ports @200G",
+            "power kW",
+            "W/port",
+            "Tbps/RU",
+        ),
+        rows=rows,
+        notes=[
+            "paper: WS 300mm = 20RU, 1638.4 Tbps, 8192 ports, 50 kW, "
+            "6.1 W/port, 81.9 Tbps/RU",
+        ],
+    )

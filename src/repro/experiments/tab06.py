@@ -1,0 +1,32 @@
+"""Table VI: chiplet counts — Clos vs hierarchical/modular crossbars.
+
+Paper claim: a Clos needs 3(N/k) chiplets (24 at N=2048, 96 at N=8192)
+while hierarchical and modular crossbars need (N/k)^2 (64 and 1024).
+"""
+
+from __future__ import annotations
+
+from repro.core.use_cases import microarchitecture_chiplet_counts
+from repro.experiments.base import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    rows = []
+    for n_ports in (2048, 8192):
+        counts = microarchitecture_chiplet_counts(n_ports, 256)
+        rows.append(
+            (
+                n_ports,
+                counts["clos"],
+                counts["hierarchical-crossbar"],
+                counts["modular-crossbar"],
+            )
+        )
+    return ExperimentResult(
+        experiment_id="tab06",
+        title="Chiplets required: Clos vs HC vs MC (k=256)",
+        headers=("N", "Clos 3(N/k)", "HC (N/k)^2", "MC (N/k)^2"),
+        rows=rows,
+        notes=["paper: 24 vs 64 at N=2048; 96 vs 1024 at N=8192"],
+    )

@@ -1,0 +1,44 @@
+"""Table VII: single-switch datacenter vs an equivalent TH-5 Clos.
+
+Paper claims (300 mm): 1 switch vs 96, 8192 cables vs 16384, hop count
+1 vs 3, 20RU vs 192RU, 800 Tbps bisection either way.
+"""
+
+from __future__ import annotations
+
+from repro.core.use_cases import datacenter_comparison
+from repro.experiments.base import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    rows = []
+    for servers, ws_ru in ((8192, 20), (4096, 11)):
+        comparison = datacenter_comparison(servers=servers, ws_rack_units=ws_ru)
+        rows.append(
+            (
+                servers,
+                f"{comparison.ws_switches} / {comparison.baseline_switches}",
+                f"{comparison.ws_cables} / {comparison.baseline_cables}",
+                f"{comparison.ws_hops} / {comparison.baseline_hops}",
+                f"{comparison.ws_rack_units} / {comparison.baseline_rack_units}",
+                round(comparison.bisection_bandwidth_gbps / 1000, 1),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="tab07",
+        title="Single-switch datacenter vs TH-5 Clos (WS / baseline)",
+        headers=(
+            "servers",
+            "switches",
+            "cables",
+            "worst hops",
+            "rack units",
+            "bisection Tbps",
+        ),
+        rows=rows,
+        notes=[
+            "paper (8192 servers): 1/96 switches, 8192/16384 cables, "
+            "1/3 hops, 20/192 RU, 800 Tbps",
+        ],
+    )

@@ -1,0 +1,61 @@
+"""Table VIII: singular GPU cluster vs a 2-layer NVSwitch network.
+
+Paper claims: one 300 mm WS switch (2048 x 800G) supports 2048 GPUs at
+a single hop with 819.2 Tbps bisection, vs DGX GH200's 132 NVSwitches
+for 256 GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.core.use_cases import NVSWITCH_BASELINE, gpu_cluster_comparison
+from repro.experiments.base import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    rows = []
+    for gpus, ws_ru in ((2048, 20), (1024, 11)):
+        comparison = gpu_cluster_comparison(gpus=gpus, ws_rack_units=ws_ru)
+        rows.append(
+            (
+                f"WS ({gpus} GPUs)",
+                gpus,
+                comparison.ws_switches,
+                comparison.ws_cables,
+                comparison.ws_hops,
+                comparison.ws_rack_units,
+                800,
+                round(comparison.bisection_bandwidth_gbps / 1000, 1),
+            )
+        )
+    rows.append(
+        (
+            "NVSwitch network",
+            NVSWITCH_BASELINE["gpus"],
+            NVSWITCH_BASELINE["switches"],
+            NVSWITCH_BASELINE["cables"],
+            NVSWITCH_BASELINE["hops"],
+            NVSWITCH_BASELINE["rack_units"],
+            int(NVSWITCH_BASELINE["port_bandwidth_gbps"]),
+            NVSWITCH_BASELINE["bisection_tbps"],
+        )
+    )
+    return ExperimentResult(
+        experiment_id="tab08",
+        title="Singular GPU cluster: WS switch vs NVSwitch network",
+        headers=(
+            "system",
+            "GPUs",
+            "switches",
+            "cables",
+            "hops",
+            "RU",
+            "port Gbps",
+            "bisection Tbps",
+        ),
+        rows=rows,
+        notes=[
+            "paper: 2048 GPUs / 1 switch / 2048 cables / 1 hop / 20RU / "
+            "819.2 Tbps vs 256 GPUs on 132 NVSwitches",
+        ],
+    )

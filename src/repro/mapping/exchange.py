@@ -1,0 +1,160 @@
+"""Pairwise-exchange mapping optimization (paper Algorithm 1).
+
+Starting from an initial placement, repeatedly try swapping the
+occupants of every pair of sites; keep a swap iff it strictly lowers the
+cost, until a full sweep makes no improvement. Cost is primarily
+``C(M)`` — the maximum channel load on any inter-chiplet edge — with
+total channel-hops as a tie-breaker (fewer hops = less internal I/O
+power; the paper's plain ``C(M)`` cost plateaus early without it).
+
+Swaps are evaluated incrementally: only the links incident to the two
+affected nodes (plus their external-boundary paths) are re-routed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.mapping.grid import WaferGrid, grid_for
+from repro.mapping.placement import EMPTY, Placement, initial_placement
+from repro.mapping.routing import (
+    EdgeLoads,
+    IOStyle,
+    apply_external,
+    apply_link,
+    compute_edge_loads,
+    incident_links,
+)
+from repro.topology.base import LogicalTopology
+
+Cost = Tuple[int, int]
+
+
+@dataclass
+class MappingResult:
+    """A mapped topology: placement plus its routed edge loads."""
+
+    placement: Placement
+    loads: EdgeLoads
+    io_style: IOStyle
+    sweeps: int
+    swaps_accepted: int
+
+    @property
+    def max_edge_channels(self) -> int:
+        return self.loads.max_edge_channels
+
+    @property
+    def total_channel_hops(self) -> int:
+        return self.loads.total_channel_hops
+
+    def cost(self) -> Cost:
+        return (self.max_edge_channels, self.total_channel_hops)
+
+
+def _cost(loads: EdgeLoads) -> Cost:
+    return (loads.max_edge_channels, loads.total_channel_hops)
+
+
+def _apply_nodes(
+    loads: EdgeLoads,
+    placement: Placement,
+    nodes: List[int],
+    incident,
+    io_style: IOStyle,
+    sign: int,
+) -> None:
+    """Add/remove all load contributions touching the given nodes."""
+    seen: Set[Tuple[int, int]] = set()
+    for node in nodes:
+        for link in incident[node]:
+            key = (link.a, link.b)
+            if key in seen:
+                continue
+            seen.add(key)
+            apply_link(loads, placement, link, sign)
+        apply_external(loads, placement, node, io_style, sign)
+
+
+def pairwise_exchange(
+    placement: Placement,
+    io_style: IOStyle = IOStyle.PERIPHERY,
+    max_sweeps: int = 30,
+) -> MappingResult:
+    """Run Algorithm 1 to convergence (or ``max_sweeps``) in place."""
+    topology = placement.topology
+    incident = incident_links(topology)
+    loads = compute_edge_loads(placement, io_style)
+    best_cost = _cost(loads)
+    swaps_accepted = 0
+
+    sites = list(range(placement.grid.sites))
+    sweeps = 0
+    improved = True
+    while improved and sweeps < max_sweeps:
+        improved = False
+        sweeps += 1
+        for i_idx, site_i in enumerate(sites):
+            for site_j in sites[i_idx + 1:]:
+                node_i = placement.node_at[site_i]
+                node_j = placement.node_at[site_j]
+                if node_i == EMPTY and node_j == EMPTY:
+                    continue
+                affected = [n for n in (node_i, node_j) if n != EMPTY]
+                _apply_nodes(loads, placement, affected, incident, io_style, -1)
+                placement.swap_sites(site_i, site_j)
+                _apply_nodes(loads, placement, affected, incident, io_style, +1)
+                new_cost = _cost(loads)
+                if new_cost < best_cost:
+                    best_cost = new_cost
+                    swaps_accepted += 1
+                    improved = True
+                else:
+                    _apply_nodes(loads, placement, affected, incident, io_style, -1)
+                    placement.swap_sites(site_i, site_j)
+                    _apply_nodes(loads, placement, affected, incident, io_style, +1)
+
+    return MappingResult(
+        placement=placement,
+        loads=loads,
+        io_style=io_style,
+        sweeps=sweeps,
+        swaps_accepted=swaps_accepted,
+    )
+
+
+def optimize_mapping(
+    topology: LogicalTopology,
+    grid: Optional[WaferGrid] = None,
+    io_style: IOStyle = IOStyle.PERIPHERY,
+    restarts: int = 4,
+    seed: int = 0,
+    strategy: str = "mixed",
+    max_sweeps: int = 30,
+) -> MappingResult:
+    """Multi-restart pairwise exchange; returns the best mapping found.
+
+    The paper uses 1000 random restarts but reports <1 % spread between
+    trials; we use a handful of seeded restarts, alternating random and
+    leaves-out-heuristic starts by default (``strategy="mixed"``) —
+    random starts escape the heuristic's local optima on mid-size Clos
+    instances while the heuristic wins on boundary-constrained ones.
+    """
+    if grid is None:
+        grid = grid_for(topology.chiplet_count)
+    best: Optional[MappingResult] = None
+    for restart in range(max(1, restarts)):
+        if strategy == "mixed":
+            start_strategy = "random" if restart % 2 == 0 else "leaves_out"
+        else:
+            start_strategy = strategy
+        rng = random.Random(seed + restart)
+        start = initial_placement(
+            topology, grid, strategy=start_strategy, rng=rng
+        )
+        result = pairwise_exchange(start, io_style, max_sweeps=max_sweeps)
+        if best is None or result.cost() < best.cost():
+            best = result
+    return best

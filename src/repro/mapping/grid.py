@@ -1,0 +1,94 @@
+"""Wafer grid geometry.
+
+Sites are arranged in a ``rows x cols`` grid; adjacent sites share a
+chiplet edge. Sites are identified by a flat index ``r * cols + c``.
+Empty sites (when the topology has fewer chiplets than sites) are
+assumed to hold dummy repeater chiplets, so feedthrough routing through
+them is allowed — consistent with chiplet-based WSI flows that populate
+spare sites for yield.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class WaferGrid:
+    """A rows x cols grid of chiplet sites."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid dimensions must be >= 1")
+
+    @property
+    def sites(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def horizontal_edges(self) -> int:
+        """Count of east-west inter-site edges."""
+        return self.rows * (self.cols - 1)
+
+    @property
+    def vertical_edges(self) -> int:
+        """Count of north-south inter-site edges."""
+        return (self.rows - 1) * self.cols
+
+    @property
+    def edge_count(self) -> int:
+        return self.horizontal_edges + self.vertical_edges
+
+    def position(self, site: int) -> Tuple[int, int]:
+        """(row, col) of a flat site index."""
+        if not 0 <= site < self.sites:
+            raise ValueError(f"site {site} out of range for {self}")
+        return divmod(site, self.cols)
+
+    def site(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"({row}, {col}) out of range for {self}")
+        return row * self.cols + col
+
+    def manhattan(self, site_a: int, site_b: int) -> int:
+        ra, ca = self.position(site_a)
+        rb, cb = self.position(site_b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def boundary_distance(self, site: int) -> int:
+        """Hops from this site to the nearest substrate edge (0 = on it)."""
+        r, c = self.position(site)
+        return min(r, self.rows - 1 - r, c, self.cols - 1 - c)
+
+    def boundary_sites(self) -> List[int]:
+        """All sites on the substrate perimeter."""
+        return [s for s in range(self.sites) if self.boundary_distance(s) == 0]
+
+    def neighbors(self, site: int) -> Iterator[int]:
+        r, c = self.position(site)
+        if r > 0:
+            yield self.site(r - 1, c)
+        if r + 1 < self.rows:
+            yield self.site(r + 1, c)
+        if c > 0:
+            yield self.site(r, c - 1)
+        if c + 1 < self.cols:
+            yield self.site(r, c + 1)
+
+    def sites_by_centrality(self) -> List[int]:
+        """Sites ordered boundary-first (used to seed leaf placement)."""
+        return sorted(range(self.sites), key=self.boundary_distance)
+
+
+def grid_for(n_chiplets: int) -> WaferGrid:
+    """Smallest near-square grid holding ``n_chiplets`` sites."""
+    if n_chiplets < 1:
+        raise ValueError("need at least one chiplet")
+    cols = math.ceil(math.sqrt(n_chiplets))
+    rows = math.ceil(n_chiplets / cols)
+    return WaferGrid(rows=rows, cols=cols)

@@ -1,0 +1,113 @@
+"""Placement of logical nodes onto wafer grid sites."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mapping.grid import WaferGrid
+from repro.topology.base import LogicalTopology
+
+EMPTY = -1
+
+
+@dataclass
+class Placement:
+    """A (mutable) assignment of topology nodes to grid sites.
+
+    ``site_of[node] = site`` and ``node_at[site] = node or EMPTY``.
+    Mutability is deliberate: the pairwise-exchange optimizer performs
+    millions of trial swaps; callers that need a snapshot use ``copy()``.
+    """
+
+    grid: WaferGrid
+    topology: LogicalTopology
+    site_of: List[int]
+    node_at: List[int]
+
+    @classmethod
+    def from_assignment(
+        cls, grid: WaferGrid, topology: LogicalTopology, site_of: List[int]
+    ) -> "Placement":
+        if len(site_of) != topology.chiplet_count:
+            raise ValueError("need one site per topology node")
+        if len(set(site_of)) != len(site_of):
+            raise ValueError("two nodes assigned to the same site")
+        node_at = [EMPTY] * grid.sites
+        for node, site in enumerate(site_of):
+            if not 0 <= site < grid.sites:
+                raise ValueError(f"site {site} out of range")
+            node_at[site] = node
+        return cls(grid=grid, topology=topology, site_of=list(site_of), node_at=node_at)
+
+    def copy(self) -> "Placement":
+        return Placement(
+            grid=self.grid,
+            topology=self.topology,
+            site_of=list(self.site_of),
+            node_at=list(self.node_at),
+        )
+
+    def swap_sites(self, site_a: int, site_b: int) -> None:
+        """Exchange the occupants (possibly EMPTY) of two sites."""
+        node_a = self.node_at[site_a]
+        node_b = self.node_at[site_b]
+        self.node_at[site_a], self.node_at[site_b] = node_b, node_a
+        if node_a != EMPTY:
+            self.site_of[node_a] = site_b
+        if node_b != EMPTY:
+            self.site_of[node_b] = site_a
+
+    def occupied_sites(self) -> List[int]:
+        return [s for s, n in enumerate(self.node_at) if n != EMPTY]
+
+
+def initial_placement(
+    topology: LogicalTopology,
+    grid: Optional[WaferGrid] = None,
+    strategy: str = "leaves_out",
+    rng: Optional[random.Random] = None,
+) -> Placement:
+    """Create a starting placement.
+
+    Strategies:
+        * ``"random"`` — uniform random assignment (the paper's
+          unoptimized baseline in Fig 5).
+        * ``"leaves_out"`` — external-port-bearing nodes on the most
+          peripheral sites (near their I/O entry), spines in the middle.
+    """
+    from repro.mapping.grid import grid_for  # local import to avoid cycle
+
+    if grid is None:
+        grid = grid_for(topology.chiplet_count)
+    if grid.sites < topology.chiplet_count:
+        raise ValueError(
+            f"grid has {grid.sites} sites but topology needs "
+            f"{topology.chiplet_count}"
+        )
+    rng = rng if rng is not None else random.Random(0)
+
+    if strategy == "random":
+        sites = list(range(grid.sites))
+        rng.shuffle(sites)
+        chosen = sites[: topology.chiplet_count]
+        return Placement.from_assignment(grid, topology, chosen)
+
+    if strategy == "leaves_out":
+        ordered_sites = grid.sites_by_centrality()
+        leaves = [n.index for n in topology.nodes if n.external_ports > 0]
+        interior = [n.index for n in topology.nodes if n.external_ports == 0]
+        rng.shuffle(leaves)
+        rng.shuffle(interior)
+        site_of = [0] * topology.chiplet_count
+        # Leaves take the outermost sites; spines/cores fill inward from
+        # the centre (reverse order of the remaining sites).
+        for node, site in zip(leaves, ordered_sites):
+            site_of[node] = site
+        remaining = ordered_sites[len(leaves):]
+        for node, site in zip(interior, reversed(remaining)):
+            site_of[node] = site
+        return Placement.from_assignment(grid, topology, site_of)
+
+    raise ValueError(f"unknown placement strategy {strategy!r}")

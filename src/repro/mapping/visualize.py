@@ -1,0 +1,92 @@
+"""ASCII rendering of placements and edge utilization (Figs 8, 14).
+
+Terminal-friendly equivalents of the paper's heatmap/placement figures:
+the placement map shows which role occupies each site (L = leaf,
+S = spine, C = core/direct, i = I/O-adjacent empty site), and the
+utilization map shades each site by the load of its most-loaded
+incident edge.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mapping.exchange import MappingResult
+from repro.mapping.placement import EMPTY
+from repro.topology.base import NodeRole
+
+_ROLE_GLYPH = {
+    NodeRole.LEAF: "L",
+    NodeRole.SPINE: "S",
+    NodeRole.CORE: "C",
+}
+
+#: Ten shading levels for utilization maps.
+_SHADES = " .:-=+*#%@"
+
+
+def placement_map(mapping: MappingResult) -> str:
+    """Grid of role glyphs (the Fig 14-style placement view)."""
+    placement = mapping.placement
+    grid = placement.grid
+    rows: List[str] = []
+    for r in range(grid.rows):
+        row = []
+        for c in range(grid.cols):
+            node = placement.node_at[grid.site(r, c)]
+            if node == EMPTY:
+                row.append(".")
+            else:
+                role = placement.topology.nodes[node].role
+                row.append(_ROLE_GLYPH.get(role, "?"))
+        rows.append(" ".join(row))
+    return "\n".join(rows)
+
+
+def _site_peak_load(mapping: MappingResult, row: int, col: int) -> int:
+    loads = mapping.loads
+    grid = mapping.placement.grid
+    peak = 0
+    if col > 0:
+        peak = max(peak, int(loads.h[row, col - 1]))
+    if col < grid.cols - 1:
+        peak = max(peak, int(loads.h[row, col]))
+    if row > 0:
+        peak = max(peak, int(loads.v[row - 1, col]))
+    if row < grid.rows - 1:
+        peak = max(peak, int(loads.v[row, col]))
+    return peak
+
+
+def utilization_map(mapping: MappingResult) -> str:
+    """Shaded grid of per-site worst incident edge load (Fig 8 view)."""
+    grid = mapping.placement.grid
+    worst = max(mapping.max_edge_channels, 1)
+    rows: List[str] = []
+    for r in range(grid.rows):
+        row = []
+        for c in range(grid.cols):
+            load = _site_peak_load(mapping, r, c)
+            level = min(len(_SHADES) - 1, int(load / worst * (len(_SHADES) - 1)))
+            row.append(_SHADES[level])
+        rows.append(" ".join(row))
+    legend = f"(shade scale: ' '=0 .. '@'={worst} channels)"
+    return "\n".join(rows) + "\n" + legend
+
+
+def describe_mapping(mapping: MappingResult) -> str:
+    """Placement + utilization + summary in one report block."""
+    topology = mapping.placement.topology
+    return "\n".join(
+        [
+            topology.describe(),
+            f"worst edge: {mapping.max_edge_channels} channels, "
+            f"total channel-hops: {mapping.total_channel_hops}",
+            "",
+            "placement (L leaf / S spine / C core / . empty):",
+            placement_map(mapping),
+            "",
+            "edge utilization:",
+            utilization_map(mapping),
+        ]
+    )

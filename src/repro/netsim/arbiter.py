@@ -1,0 +1,43 @@
+"""Round-robin arbitration primitives used by VC and switch allocation."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RoundRobinArbiter:
+    """A rotating-priority arbiter over a fixed-size index space."""
+
+    __slots__ = ("size", "_pointer")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("arbiter size must be >= 1")
+        self.size = size
+        self._pointer = 0
+
+    def pick(self, requests: Iterable[int]) -> Optional[int]:
+        """Grant the requesting index closest after the priority pointer.
+
+        The winner becomes the lowest-priority index for the next
+        arbitration (classic round-robin update).
+        """
+        request_set = set(requests)
+        if not request_set:
+            return None
+        for offset in range(self.size):
+            candidate = (self._pointer + offset) % self.size
+            if candidate in request_set:
+                self._pointer = (candidate + 1) % self.size
+                return candidate
+        return None
+
+
+def rotate_from(items: List[T], start: int) -> List[T]:
+    """The list rotated to begin at ``start`` (helper for VC scans)."""
+    if not items:
+        return []
+    start %= len(items)
+    return items[start:] + items[:start]

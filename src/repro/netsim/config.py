@@ -1,0 +1,46 @@
+"""Simulator configuration objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: One simulation cycle in nanoseconds (the paper's convention).
+CYCLE_TIME_NS = 20.0
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Per-router microarchitecture parameters (Fig 20's four stages).
+
+    Attributes:
+        num_vcs: Virtual channels per input port.
+        buffer_flits_per_port: Shared input buffer capacity per port,
+            in flits (shared across the port's VCs — the paper's shared
+            buffer policy).
+        routing_delay: Route-computation latency in cycles for a head
+            flit (the paper's proprietary-routing experiment sets 4 for
+            conventional Layer-3 lookup, 2 at ingress SSCs and 1 at
+            non-ingress SSCs with destination-tag routing).
+        pipeline_delay: Additional cycles every flit spends crossing the
+            router after winning switch allocation (VA+SA+ST depth; the
+            paper's "SSC delay" / "switch box delay" knob).
+    """
+
+    num_vcs: int = 16
+    buffer_flits_per_port: int = 32
+    routing_delay: int = 1
+    pipeline_delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_vcs < 1:
+            raise ValueError("num_vcs must be >= 1")
+        if self.buffer_flits_per_port < 1:
+            raise ValueError("buffer_flits_per_port must be >= 1")
+        if self.routing_delay < 0 or self.pipeline_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.buffer_flits_per_port < self.num_vcs:
+            # Each VC needs at least one flit slot to make progress.
+            raise ValueError(
+                "shared buffer must hold at least one flit per VC "
+                f"({self.buffer_flits_per_port} < {self.num_vcs})"
+            )

@@ -1,0 +1,61 @@
+"""Fixed-latency channels carrying flits forward and credits back."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.netsim.packet import Flit
+
+
+class Link:
+    """A unidirectional flit channel with a fixed cycle latency.
+
+    The paired credit channel (for the upstream router's flow control)
+    has the same latency, so the round-trip time seen by the buffer
+    sizing experiments is ``2 x latency + pipeline``.
+    """
+
+    __slots__ = ("latency", "_in_flight")
+
+    def __init__(self, latency: int):
+        if latency < 1:
+            raise ValueError("link latency must be >= 1 cycle")
+        self.latency = latency
+        self._in_flight: Deque[Tuple[int, Flit]] = deque()
+
+    def send(self, flit: Flit, now: int, extra_delay: int = 0) -> None:
+        """Inject a flit; it arrives at ``now + latency + extra_delay``."""
+        self._in_flight.append((now + self.latency + extra_delay, flit))
+
+    def deliver(self, now: int) -> List[Flit]:
+        """Pop every flit whose arrival cycle has come."""
+        arrived: List[Flit] = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            arrived.append(self._in_flight.popleft()[1])
+        return arrived
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._in_flight)
+
+
+class CreditChannel:
+    """Returns buffer credits upstream with a fixed latency."""
+
+    __slots__ = ("latency", "_in_flight")
+
+    def __init__(self, latency: int):
+        if latency < 1:
+            raise ValueError("credit latency must be >= 1 cycle")
+        self.latency = latency
+        self._in_flight: Deque[Tuple[int, int]] = deque()
+
+    def send(self, count: int, now: int) -> None:
+        self._in_flight.append((now + self.latency, count))
+
+    def deliver(self, now: int) -> int:
+        total = 0
+        while self._in_flight and self._in_flight[0][0] <= now:
+            total += self._in_flight.popleft()[1]
+        return total

@@ -1,0 +1,110 @@
+"""Direct 2-D mesh network of SSC routers (Section VII's mesh switch).
+
+The mesh maps natively onto the wafer (every logical link is a physical
+neighbor link), but as a switch fabric it is blocking with poor
+bisection bandwidth — this builder lets the simulator quantify that
+against the Clos-based waferscale switch.
+
+Routing is dimension-ordered (XY), which is deadlock-free on a mesh
+with wormhole flow control. Terminals are distributed evenly across
+routers; each router dedicates ``k - 4*w`` ports to local terminals
+and ``w`` channels per neighbor direction, mirroring
+:func:`repro.topology.mesh.direct_mesh`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.netsim.config import RouterConfig
+from repro.netsim.network import NetworkModel, _wire, _wire_terminal
+from repro.netsim.packet import Flit
+from repro.netsim.router import Router
+from repro.netsim.terminal import Terminal
+
+
+def _port_layout(terminals_per_router: int, neighbor_channels: int):
+    """Port numbering: locals first, then N/E/S/W channel groups."""
+    base = terminals_per_router
+
+    def neighbor_ports(direction: int) -> Tuple[int, int]:
+        start = base + direction * neighbor_channels
+        return start, start + neighbor_channels
+
+    return neighbor_ports
+
+
+def mesh_network(
+    rows: int,
+    cols: int,
+    terminals_per_router: int,
+    neighbor_channels: int = 2,
+    config: RouterConfig = None,
+    link_latency: int = 1,
+    io_latency: int = 8,
+) -> NetworkModel:
+    """Build a rows x cols mesh of SSC routers with XY routing."""
+    if rows < 2 or cols < 2:
+        raise ValueError("mesh needs rows, cols >= 2")
+    if terminals_per_router < 1 or neighbor_channels < 1:
+        raise ValueError("need >= 1 terminal and >= 1 neighbor channel")
+    if config is None:
+        config = RouterConfig(num_vcs=4, buffer_flits_per_port=16)
+
+    n_ports = terminals_per_router + 4 * neighbor_channels
+    neighbor_ports = _port_layout(terminals_per_router, neighbor_channels)
+    # Directions: 0=N, 1=E, 2=S, 3=W.
+    NORTH, EAST, SOUTH, WEST = range(4)
+
+    def router_index(r: int, c: int) -> int:
+        return r * cols + c
+
+    def route(router: Router, in_port: int, flit: Flit) -> int:
+        dst_router, dst_local = divmod(flit.dst, terminals_per_router)
+        my_r, my_c = divmod(router.router_id, cols)
+        dst_r, dst_c = divmod(dst_router, cols)
+        if (my_r, my_c) == (dst_r, dst_c):
+            return dst_local
+        channel = flit.packet.packet_id % neighbor_channels
+        if my_c != dst_c:  # X first
+            direction = EAST if dst_c > my_c else WEST
+        else:
+            direction = SOUTH if dst_r > my_r else NORTH
+        start, _ = neighbor_ports(direction)
+        return start + channel
+
+    routers = [
+        Router(router_index(r, c), n_ports, config, route)
+        for r in range(rows)
+        for c in range(cols)
+    ]
+    n_terminals = rows * cols * terminals_per_router
+    terminals = [Terminal(t, config.num_vcs) for t in range(n_terminals)]
+    network = NetworkModel(
+        name=f"mesh-{rows}x{cols}", routers=routers, terminals=terminals
+    )
+
+    for r in range(rows):
+        for c in range(cols):
+            router = routers[router_index(r, c)]
+            for local in range(terminals_per_router):
+                terminal = terminals[
+                    router_index(r, c) * terminals_per_router + local
+                ]
+                _wire_terminal(network, terminal, router, local, io_latency)
+            # Wire east and south once per pair (both directions).
+            if c + 1 < cols:
+                east = routers[router_index(r, c + 1)]
+                for channel in range(neighbor_channels):
+                    my_port = neighbor_ports(EAST)[0] + channel
+                    their_port = neighbor_ports(WEST)[0] + channel
+                    _wire(network, router, my_port, east, their_port, link_latency)
+                    _wire(network, east, their_port, router, my_port, link_latency)
+            if r + 1 < rows:
+                south = routers[router_index(r + 1, c)]
+                for channel in range(neighbor_channels):
+                    my_port = neighbor_ports(SOUTH)[0] + channel
+                    their_port = neighbor_ports(NORTH)[0] + channel
+                    _wire(network, router, my_port, south, their_port, link_latency)
+                    _wire(network, south, their_port, router, my_port, link_latency)
+    return network

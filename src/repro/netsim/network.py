@@ -1,0 +1,396 @@
+"""Network construction: waferscale Clos and its switch-network twin.
+
+Both the waferscale switch and the baseline "equivalent switch network"
+are 2-level folded Clos fabrics of sub-switches; what differs is the
+physics (Section VI):
+
+* **Waferscale** — SSC-to-SSC links are on-wafer (1 cycle = 20 ns),
+  SSC pipeline delay 11 cycles, and optionally the proprietary
+  destination-tag routing (RC of 2 cycles at ingress, 1 in transit).
+* **Baseline** — switch boxes connected by in-rack PCB / optical links
+  (8 cycles), box pipeline delay 15 cycles, conventional Layer-3 route
+  computation (4 cycles) at every hop.
+
+Host-to-switch I/O delay is 8 cycles for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.netsim.config import RouterConfig
+from repro.netsim.link import CreditChannel, Link
+from repro.netsim.packet import Flit
+from repro.netsim.router import Router
+from repro.netsim.terminal import Terminal
+
+
+@dataclass
+class NetworkModel:
+    """A wired network of routers and terminals plus its cycle driver."""
+
+    name: str
+    routers: List[Router]
+    terminals: List[Terminal]
+    links: List[tuple] = field(default_factory=list)  # (link, sink_kind, sink, port)
+    cycle: int = 0
+
+    @property
+    def n_terminals(self) -> int:
+        return len(self.terminals)
+
+    def step(self) -> None:
+        """Advance the whole network by one cycle."""
+        now = self.cycle
+        # 1. Deliver flits whose link latency has elapsed.
+        for link, sink_kind, sink, port in self.links:
+            arrived = link.deliver(now)
+            if not arrived:
+                continue
+            if sink_kind == "router":
+                for flit in arrived:
+                    sink.receive_flit(port, flit, now)
+            else:
+                for flit in arrived:
+                    sink.receive(flit, now)
+        # 2. Credits return; terminals inject.
+        for router in self.routers:
+            router.collect_credits(now)
+        for terminal in self.terminals:
+            terminal.inject(now)
+        # 3. Router pipelines.
+        for router in self.routers:
+            router.vc_allocate(now)
+        for router in self.routers:
+            router.switch_allocate(now)
+        self.cycle += 1
+
+    def in_flight_flits(self) -> int:
+        """Flits buffered in routers or on the wire (drain detection)."""
+        buffered = sum(router.buffered_flits() for router in self.routers)
+        on_wire = sum(link.occupancy for link, _, _, _ in self.links)
+        backlog = sum(t.backlog_flits for t in self.terminals)
+        return buffered + on_wire + backlog
+
+
+# ----------------------------------------------------------------------
+# Folded-Clos wiring
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClosShape:
+    """Integer geometry of a 2-level folded Clos of sub-switches."""
+
+    n_terminals: int
+    ssc_radix: int
+
+    def __post_init__(self) -> None:
+        k = self.ssc_radix
+        if k % 2 != 0:
+            raise ValueError("SSC radix must be even")
+        if self.n_terminals % k != 0 or self.n_terminals < k:
+            raise ValueError(
+                f"terminal count {self.n_terminals} must be a positive "
+                f"multiple of the SSC radix {k}"
+            )
+        if (k // 2) % self.n_spines != 0:
+            raise ValueError(
+                "leaf uplinks must divide evenly across spines "
+                f"(k/2={k // 2}, spines={self.n_spines})"
+            )
+
+    @property
+    def down_per_leaf(self) -> int:
+        return self.ssc_radix // 2
+
+    @property
+    def n_leaves(self) -> int:
+        return 2 * self.n_terminals // self.ssc_radix
+
+    @property
+    def n_spines(self) -> int:
+        return self.n_terminals // self.ssc_radix
+
+    @property
+    def channels_per_pair(self) -> int:
+        return self.down_per_leaf // self.n_spines
+
+
+def _clos_route(
+    shape: ClosShape, spine_selection: str = "hash"
+) -> Callable[[Router, int, Flit], int]:
+    """Route function for the folded Clos.
+
+    Leaves: ports [0, down) face terminals; port ``down + s*cpp + c`` is
+    uplink channel ``c`` to spine ``s``. Spines: port ``l*cpp + c`` is
+    channel ``c`` to leaf ``l``.
+
+    ``spine_selection`` picks the uplink at the ingress leaf:
+      * ``"hash"`` — oblivious, hashes the packet id across the Clos's
+        path diversity (the paper's baseline behaviour).
+      * ``"adaptive"`` — credit-based: take the uplink port with the
+        most downstream credits (UGAL-like local adaptivity).
+    """
+    if spine_selection not in ("hash", "adaptive"):
+        raise ValueError(f"unknown spine selection {spine_selection!r}")
+    down = shape.down_per_leaf
+    cpp = shape.channels_per_pair
+    spines = shape.n_spines
+    leaves = shape.n_leaves
+
+    def route(router: Router, in_port: int, flit: Flit) -> int:
+        dst = flit.dst
+        dst_leaf, dst_local = divmod(dst, down)
+        if router.router_id < leaves:
+            if router.router_id == dst_leaf:
+                return dst_local
+            if spine_selection == "adaptive":
+                uplinks = range(down, down + spines * cpp)
+                return max(uplinks, key=lambda p: router.out_credits[p])
+            spine = flit.packet.packet_id % spines
+            channel = (flit.packet.packet_id // spines) % cpp
+            return down + spine * cpp + channel
+        # Spine router: ids are offset by the leaf count.
+        channel = flit.packet.packet_id % cpp
+        return dst_leaf * cpp + channel
+
+    return route
+
+
+def _wire(
+    network: NetworkModel,
+    src_router: Router,
+    src_port: int,
+    dst_router: Router,
+    dst_port: int,
+    latency: int,
+) -> None:
+    """Connect two router ports with a flit link + credit channel."""
+    link = Link(latency)
+    credits = CreditChannel(latency)
+    src_router.attach_output(
+        src_port,
+        link,
+        credits,
+        downstream_capacity=dst_router.config.buffer_flits_per_port,
+        is_terminal=False,
+    )
+    dst_router.attach_input(dst_port, credits, from_terminal=False)
+    network.links.append((link, "router", dst_router, dst_port))
+
+
+def _wire_terminal(
+    network: NetworkModel,
+    terminal: Terminal,
+    router: Router,
+    port: int,
+    latency: int,
+) -> None:
+    """Bidirectional terminal attachment (inject + eject paths)."""
+    inject = Link(latency)
+    inject_credits = CreditChannel(latency)
+    terminal.attach(
+        inject, inject_credits, initial_credits=router.config.buffer_flits_per_port
+    )
+    router.attach_input(port, inject_credits, from_terminal=True)
+    network.links.append((inject, "router", router, port))
+
+    eject = Link(latency)
+    router.attach_output(
+        port, eject, None, downstream_capacity=0, is_terminal=True
+    )
+    network.links.append((eject, "terminal", terminal, port))
+
+
+def clos_network(
+    name: str,
+    n_terminals: int,
+    ssc_radix: int,
+    config: RouterConfig,
+    inter_switch_latency: int,
+    io_latency: int,
+    ingress_routing_delay: Optional[int] = None,
+    spine_selection: str = "hash",
+    pair_latency_fn: Optional[Callable[[int, int], int]] = None,
+) -> NetworkModel:
+    """Build a 2-level folded Clos network of sub-switch routers.
+
+    ``pair_latency_fn(leaf, spine)`` overrides the uniform
+    ``inter_switch_latency`` per leaf-spine pair — used to model the
+    non-uniform link latencies a mesh-mapped Clos actually has
+    (Section IV's "input buffers handle non-uniform latency" claim).
+    """
+    shape = ClosShape(n_terminals, ssc_radix)
+    route_fn = _clos_route(shape, spine_selection)
+    routers = []
+    for leaf in range(shape.n_leaves):
+        routers.append(
+            Router(
+                leaf,
+                ssc_radix,
+                config,
+                route_fn,
+                ingress_routing_delay=ingress_routing_delay,
+            )
+        )
+    for spine in range(shape.n_spines):
+        routers.append(
+            Router(
+                shape.n_leaves + spine,
+                ssc_radix,
+                config,
+                route_fn,
+                ingress_routing_delay=ingress_routing_delay,
+            )
+        )
+    terminals = [Terminal(t, config.num_vcs) for t in range(n_terminals)]
+    network = NetworkModel(name=name, routers=routers, terminals=terminals)
+
+    down = shape.down_per_leaf
+    cpp = shape.channels_per_pair
+    for leaf in range(shape.n_leaves):
+        leaf_router = routers[leaf]
+        for local in range(down):
+            terminal = terminals[leaf * down + local]
+            _wire_terminal(network, terminal, leaf_router, local, io_latency)
+        for spine in range(shape.n_spines):
+            spine_router = routers[shape.n_leaves + spine]
+            latency = (
+                pair_latency_fn(leaf, spine)
+                if pair_latency_fn is not None
+                else inter_switch_latency
+            )
+            for channel in range(cpp):
+                leaf_port = down + spine * cpp + channel
+                spine_port = leaf * cpp + channel
+                _wire(
+                    network,
+                    leaf_router,
+                    leaf_port,
+                    spine_router,
+                    spine_port,
+                    latency,
+                )
+                _wire(
+                    network,
+                    spine_router,
+                    spine_port,
+                    leaf_router,
+                    leaf_port,
+                    latency,
+                )
+    return network
+
+
+def mapped_pair_latency_fn(mapping, cycles_per_hop: float = 1.0):
+    """Per-pair link latencies from a physical mapping.
+
+    Given a :class:`~repro.mapping.exchange.MappingResult` of the same
+    folded Clos, returns ``pair_latency_fn(leaf, spine)`` = the
+    Manhattan hop distance between the two chiplets' sites scaled by
+    ``cycles_per_hop`` (min 1 cycle). Lets the simulator model the
+    non-uniform latencies a mesh-mapped Clos actually has.
+    """
+    placement = mapping.placement
+    topology = placement.topology
+    leaves = topology.leaves()
+    spines = topology.spines()
+
+    def pair_latency(leaf: int, spine: int) -> int:
+        site_a = placement.site_of[leaves[leaf].index]
+        site_b = placement.site_of[spines[spine].index]
+        hops = placement.grid.manhattan(site_a, site_b)
+        return max(1, round(hops * cycles_per_hop))
+
+    return pair_latency
+
+
+# ----------------------------------------------------------------------
+# The paper's two comparison configurations (Section VI)
+# ----------------------------------------------------------------------
+
+def waferscale_clos_network(
+    n_terminals: int,
+    ssc_radix: int,
+    num_vcs: int = 16,
+    buffer_flits_per_port: int = 32,
+    ssc_pipeline_delay: int = 11,
+    routing_delay: int = 1,
+    ingress_routing_delay: Optional[int] = 2,
+    link_latency: int = 1,
+    io_latency: int = 8,
+) -> NetworkModel:
+    """The waferscale switch: on-wafer links, proprietary routing."""
+    config = RouterConfig(
+        num_vcs=num_vcs,
+        buffer_flits_per_port=buffer_flits_per_port,
+        routing_delay=routing_delay,
+        pipeline_delay=ssc_pipeline_delay,
+    )
+    return clos_network(
+        "waferscale",
+        n_terminals,
+        ssc_radix,
+        config,
+        inter_switch_latency=link_latency,
+        io_latency=io_latency,
+        ingress_routing_delay=ingress_routing_delay,
+    )
+
+
+def baseline_switch_network(
+    n_terminals: int,
+    ssc_radix: int,
+    num_vcs: int = 16,
+    buffer_flits_per_port: int = 32,
+    switch_pipeline_delay: int = 15,
+    routing_delay: int = 4,
+    link_latency: int = 8,
+    io_latency: int = 8,
+) -> NetworkModel:
+    """The equivalent discrete switch network (TH-5 boxes + optics)."""
+    config = RouterConfig(
+        num_vcs=num_vcs,
+        buffer_flits_per_port=buffer_flits_per_port,
+        routing_delay=routing_delay,
+        pipeline_delay=switch_pipeline_delay,
+    )
+    return clos_network(
+        "switch-network",
+        n_terminals,
+        ssc_radix,
+        config,
+        inter_switch_latency=link_latency,
+        io_latency=io_latency,
+        ingress_routing_delay=None,
+    )
+
+
+def single_router_network(
+    n_terminals: int,
+    num_vcs: int = 4,
+    buffer_flits_per_port: int = 8,
+    routing_delay: int = 1,
+    pipeline_delay: int = 1,
+    io_latency: int = 1,
+) -> NetworkModel:
+    """A lone router with all ports on terminals (unit testing)."""
+    config = RouterConfig(
+        num_vcs=num_vcs,
+        buffer_flits_per_port=buffer_flits_per_port,
+        routing_delay=routing_delay,
+        pipeline_delay=pipeline_delay,
+    )
+
+    def route(router: Router, in_port: int, flit: Flit) -> int:
+        return flit.dst
+
+    router = Router(0, n_terminals, config, route)
+    terminals = [Terminal(t, num_vcs) for t in range(n_terminals)]
+    network = NetworkModel(
+        name="single-router", routers=[router], terminals=terminals
+    )
+    for t, terminal in enumerate(terminals):
+        _wire_terminal(network, terminal, router, t, io_latency)
+    return network

@@ -1,0 +1,251 @@
+"""Input-queued virtual-channel router with the paper's 4-stage pipeline.
+
+Stages (Fig 20):
+
+* **RC** — route computation: a head flit reaching the front of its
+  input VC spends ``routing_delay`` cycles computing its output port
+  (ingress SSCs and transit SSCs may have different delays — the
+  proprietary-routing optimization of Section VI).
+* **VA** — virtual-channel allocation: the packet claims a free VC at
+  its output port (round-robin among free VCs).
+* **SA** — switch allocation: each output port grants one flit per
+  cycle among the ACTIVE input VCs requesting it (round-robin), subject
+  to downstream credit availability and one grant per input port per
+  cycle.
+* **ST** — switch traversal: the winning flit crosses the router in
+  ``pipeline_delay`` cycles and enters the output link.
+
+Flow control is credit-based over a per-port shared buffer pool (the
+paper's shared buffer policy): the upstream node may only send while
+the downstream port's pool has free slots; a credit returns (with link
+latency) whenever a flit leaves the pool.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.netsim.arbiter import RoundRobinArbiter
+from repro.netsim.config import RouterConfig
+from repro.netsim.link import CreditChannel, Link
+from repro.netsim.packet import Flit
+
+# Input VC states.
+IDLE = 0
+ROUTE = 1
+ACTIVE = 2
+
+RouteFn = Callable[["Router", int, Flit], int]
+
+
+class Router:
+    """One sub-switch chiplet (or switch box) in the simulated network."""
+
+    def __init__(
+        self,
+        router_id: int,
+        n_ports: int,
+        config: RouterConfig,
+        route_fn: RouteFn,
+        ingress_routing_delay: Optional[int] = None,
+    ):
+        if n_ports < 1:
+            raise ValueError("router needs at least one port")
+        self.router_id = router_id
+        self.n_ports = n_ports
+        self.config = config
+        self.route_fn = route_fn
+        #: RC delay for packets entering from a terminal (ingress); falls
+        #: back to the transit routing delay when not set.
+        self.ingress_routing_delay = (
+            config.routing_delay
+            if ingress_routing_delay is None
+            else ingress_routing_delay
+        )
+
+        vcs = config.num_vcs
+        # Input side.
+        self.queues: List[List[deque]] = [
+            [deque() for _ in range(vcs)] for _ in range(n_ports)
+        ]
+        self.occupancy = [0] * n_ports
+        self.ivc_state = [[IDLE] * vcs for _ in range(n_ports)]
+        self.rc_ready = [[0] * vcs for _ in range(n_ports)]
+        self.ivc_out_port = [[-1] * vcs for _ in range(n_ports)]
+        self.ivc_out_vc = [[-1] * vcs for _ in range(n_ports)]
+        self.rc_pending: Set[Tuple[int, int]] = set()
+        self.in_credit_channel: List[Optional[CreditChannel]] = [None] * n_ports
+        self.terminal_in_ports: Set[int] = set()
+
+        # Output side.
+        self.out_link: List[Optional[Link]] = [None] * n_ports
+        self.out_is_terminal = [False] * n_ports
+        self.ovc_owner: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * vcs for _ in range(n_ports)
+        ]
+        self.out_credits = [0] * n_ports
+        self.out_credit_channel: List[Optional[CreditChannel]] = [None] * n_ports
+        self.sa_candidates: List[Set[Tuple[int, int]]] = [
+            set() for _ in range(n_ports)
+        ]
+        self._sa_arbiters = [
+            RoundRobinArbiter(n_ports * vcs) for _ in range(n_ports)
+        ]
+        self._vc_arbiters = [RoundRobinArbiter(vcs) for _ in range(n_ports)]
+
+        # Statistics.
+        self.flits_forwarded = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (used by the network builders)
+    # ------------------------------------------------------------------
+
+    def attach_output(
+        self,
+        port: int,
+        link: Link,
+        credit_channel: Optional[CreditChannel],
+        downstream_capacity: int,
+        is_terminal: bool,
+    ) -> None:
+        self.out_link[port] = link
+        self.out_credit_channel[port] = credit_channel
+        self.out_credits[port] = downstream_capacity
+        self.out_is_terminal[port] = is_terminal
+
+    def attach_input(
+        self, port: int, credit_channel: CreditChannel, from_terminal: bool
+    ) -> None:
+        self.in_credit_channel[port] = credit_channel
+        if from_terminal:
+            self.terminal_in_ports.add(port)
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+    # ------------------------------------------------------------------
+
+    def receive_flit(self, port: int, flit: Flit, now: int) -> None:
+        """Accept a flit from the input link into the shared buffer."""
+        self.occupancy[port] += 1
+        if self.occupancy[port] > self.config.buffer_flits_per_port:
+            raise AssertionError(
+                f"router {self.router_id} port {port}: buffer overflow "
+                "(credit protocol violated)"
+            )
+        vc = flit.vc
+        queue = self.queues[port][vc]
+        queue.append(flit)
+        state = self.ivc_state[port][vc]
+        if state == IDLE and len(queue) == 1:
+            if not flit.is_head:
+                raise AssertionError("body flit reached an idle VC front")
+            self._start_route(port, vc, now)
+        elif state == ACTIVE and len(queue) == 1:
+            self.sa_candidates[self.ivc_out_port[port][vc]].add((port, vc))
+
+    def _start_route(self, port: int, vc: int, now: int) -> None:
+        delay = (
+            self.ingress_routing_delay
+            if port in self.terminal_in_ports
+            else self.config.routing_delay
+        )
+        self.ivc_state[port][vc] = ROUTE
+        self.rc_ready[port][vc] = now + delay
+        self.rc_pending.add((port, vc))
+
+    def collect_credits(self, now: int) -> None:
+        """Absorb credits returned by downstream ports."""
+        for port in range(self.n_ports):
+            channel = self.out_credit_channel[port]
+            if channel is not None:
+                self.out_credits[port] += channel.deliver(now)
+
+    def vc_allocate(self, now: int) -> None:
+        """RC completion + VC allocation for waiting head flits."""
+        if not self.rc_pending:
+            return
+        granted = []
+        for port, vc in sorted(self.rc_pending):
+            if now < self.rc_ready[port][vc]:
+                continue
+            out_port = self.ivc_out_port[port][vc]
+            if out_port < 0:
+                head = self.queues[port][vc][0]
+                out_port = self.route_fn(self, port, head)
+                if not 0 <= out_port < self.n_ports:
+                    raise AssertionError(
+                        f"route function returned invalid port {out_port}"
+                    )
+                self.ivc_out_port[port][vc] = out_port
+            if self.out_is_terminal[out_port]:
+                out_vc = 0
+            else:
+                owners = self.ovc_owner[out_port]
+                free = [v for v in range(self.config.num_vcs) if owners[v] is None]
+                out_vc = self._vc_arbiters[out_port].pick(free)
+                if out_vc is None:
+                    continue  # try again next cycle
+                owners[out_vc] = (port, vc)
+            self.ivc_out_vc[port][vc] = out_vc
+            self.ivc_state[port][vc] = ACTIVE
+            if self.queues[port][vc]:
+                self.sa_candidates[out_port].add((port, vc))
+            granted.append((port, vc))
+        for key in granted:
+            self.rc_pending.discard(key)
+
+    def switch_allocate(self, now: int) -> None:
+        """SA + ST: move at most one flit per output (and input) port."""
+        vcs = self.config.num_vcs
+        used_inputs: Set[int] = set()
+        for out_port in range(self.n_ports):
+            candidates = self.sa_candidates[out_port]
+            if not candidates:
+                continue
+            if not self.out_is_terminal[out_port] and self.out_credits[out_port] <= 0:
+                continue
+            requests = [
+                port * vcs + vc
+                for (port, vc) in candidates
+                if port not in used_inputs and self.queues[port][vc]
+            ]
+            winner = self._sa_arbiters[out_port].pick(requests)
+            if winner is None:
+                continue
+            port, vc = divmod(winner, vcs)
+            used_inputs.add(port)
+            self._forward(port, vc, out_port, now)
+
+    def _forward(self, port: int, vc: int, out_port: int, now: int) -> None:
+        flit = self.queues[port][vc].popleft()
+        self.occupancy[port] -= 1
+        self.flits_forwarded += 1
+        upstream = self.in_credit_channel[port]
+        if upstream is not None:
+            upstream.send(1, now)
+        flit.vc = self.ivc_out_vc[port][vc]
+        if not self.out_is_terminal[out_port]:
+            self.out_credits[out_port] -= 1
+        link = self.out_link[out_port]
+        if link is None:
+            raise AssertionError(f"output port {out_port} is not wired")
+        link.send(flit, now, extra_delay=self.config.pipeline_delay)
+
+        if flit.is_tail:
+            if not self.out_is_terminal[out_port]:
+                self.ovc_owner[out_port][flit.vc] = None
+            self.ivc_state[port][vc] = IDLE
+            self.ivc_out_port[port][vc] = -1
+            self.ivc_out_vc[port][vc] = -1
+            self.sa_candidates[out_port].discard((port, vc))
+            if self.queues[port][vc]:
+                # The next packet's head is now at the queue front.
+                self._start_route(port, vc, now)
+        elif not self.queues[port][vc]:
+            # Body flits still in flight upstream; pause SA requests.
+            self.sa_candidates[out_port].discard((port, vc))
+
+    def buffered_flits(self) -> int:
+        """Total flits currently buffered (drain detection)."""
+        return sum(self.occupancy)

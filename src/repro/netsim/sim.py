@@ -1,0 +1,174 @@
+"""Simulation drivers: warmup / measurement, load sweeps, saturation.
+
+Follows Booksim's methodology: run a warmup phase, then measure the
+average packet latency over packets *created* during the measurement
+window, then (optionally) drain. A configuration is saturated when its
+average latency exceeds a multiple of the zero-load latency or its
+accepted throughput stops tracking the offered load; saturation
+throughput is the accepted load at an offered load beyond saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.netsim.network import NetworkModel
+from repro.netsim.packet import Packet
+from repro.netsim.stats import RunStats
+from repro.netsim.traffic import BernoulliInjector, TrafficPattern
+
+NetworkFactory = Callable[[], NetworkModel]
+
+#: Latency cap (x zero-load latency) past which a run counts as saturated.
+SATURATION_LATENCY_FACTOR = 4.0
+
+
+class Simulator:
+    """Drives one network instance under Bernoulli traffic."""
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        pattern: TrafficPattern,
+        load: float,
+        packet_size_flits: int = 4,
+        seed: int = 1,
+    ):
+        if pattern.n_terminals != network.n_terminals:
+            raise ValueError(
+                "traffic pattern terminal count does not match the network"
+            )
+        self.network = network
+        self.injector = BernoulliInjector(
+            pattern, load, packet_size_flits, seed=seed
+        )
+        self.load = load
+        self.packet_size_flits = packet_size_flits
+
+    def _generate(self, now: int, count_stats: Optional[RunStats]) -> None:
+        for terminal in self.network.terminals:
+            generated = self.injector.generate(now, terminal.terminal_id)
+            if generated is None:
+                continue
+            dst, size = generated
+            packet = Packet(terminal.terminal_id, dst, size, now)
+            terminal.offer_packet(packet)
+            if count_stats is not None:
+                count_stats.flits_offered += size
+
+    def run(
+        self,
+        warmup_cycles: int = 1000,
+        measure_cycles: int = 2000,
+        drain_cycles: int = 3000,
+    ) -> RunStats:
+        """Warm up, measure, and drain; return the window's statistics."""
+        network = self.network
+        for _ in range(warmup_cycles):
+            self._generate(network.cycle, None)
+            network.step()
+
+        measure_start = network.cycle
+        measure_end = measure_start + measure_cycles
+        stats = RunStats(
+            measure_start=measure_start,
+            measure_end=measure_end,
+            n_terminals=network.n_terminals,
+        )
+        delivered_before = self._delivered_flits()
+        for _ in range(measure_cycles):
+            self._generate(network.cycle, stats)
+            network.step()
+        stats.flits_delivered = self._delivered_flits() - delivered_before
+
+        # Drain: stop offering, keep stepping so measurement-window
+        # packets can finish (bounded by drain_cycles).
+        for _ in range(drain_cycles):
+            if network.in_flight_flits() == 0:
+                break
+            network.step()
+
+        for terminal in network.terminals:
+            for packet in terminal.packets_received:
+                if measure_start <= packet.create_cycle < measure_end:
+                    stats.latencies_cycles.append(packet.latency_cycles)
+        return stats
+
+    def _delivered_flits(self) -> int:
+        return sum(t.flits_received for t in self.network.terminals)
+
+
+@dataclass(frozen=True)
+class LoadLatencyPoint:
+    """One point of a load-latency curve."""
+
+    offered_load: float
+    accepted_load: float
+    avg_latency_cycles: float
+    avg_latency_ns: float
+    saturated: bool
+
+
+def load_latency_sweep(
+    network_factory: NetworkFactory,
+    pattern_factory: Callable[[int], TrafficPattern],
+    loads: Sequence[float],
+    packet_size_flits: int = 4,
+    warmup_cycles: int = 500,
+    measure_cycles: int = 1500,
+    seed: int = 1,
+) -> List[LoadLatencyPoint]:
+    """Average latency vs offered load (Figs 22, 23, 24 style curves).
+
+    A fresh network is built per load point. Zero-load latency is taken
+    from the first (lowest) load point for the saturation criterion.
+    """
+    points: List[LoadLatencyPoint] = []
+    zero_load_latency: Optional[float] = None
+    for load in loads:
+        network = network_factory()
+        pattern = pattern_factory(network.n_terminals)
+        sim = Simulator(network, pattern, load, packet_size_flits, seed=seed)
+        stats = sim.run(warmup_cycles=warmup_cycles, measure_cycles=measure_cycles)
+        latency = stats.avg_latency_cycles
+        if zero_load_latency is None and latency == latency:  # not NaN
+            zero_load_latency = latency
+        saturated = bool(
+            zero_load_latency is not None
+            and latency == latency
+            and latency > SATURATION_LATENCY_FACTOR * zero_load_latency
+        ) or stats.packets_delivered == 0
+        points.append(
+            LoadLatencyPoint(
+                offered_load=load,
+                accepted_load=stats.accepted_load,
+                avg_latency_cycles=latency,
+                avg_latency_ns=stats.avg_latency_ns,
+                saturated=saturated,
+            )
+        )
+    return points
+
+
+def saturation_throughput(
+    network_factory: NetworkFactory,
+    pattern_factory: Callable[[int], TrafficPattern],
+    packet_size_flits: int = 4,
+    offered_load: float = 1.0,
+    warmup_cycles: int = 500,
+    measure_cycles: int = 1500,
+    seed: int = 1,
+) -> float:
+    """Accepted throughput at an offered load far past saturation.
+
+    Offering the full line rate and measuring the accepted flit rate is
+    Booksim's standard estimate of saturation throughput.
+    """
+    network = network_factory()
+    pattern = pattern_factory(network.n_terminals)
+    sim = Simulator(network, pattern, offered_load, packet_size_flits, seed=seed)
+    stats = sim.run(
+        warmup_cycles=warmup_cycles, measure_cycles=measure_cycles, drain_cycles=0
+    )
+    return stats.accepted_load

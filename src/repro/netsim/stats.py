@@ -1,0 +1,61 @@
+"""Measurement bookkeeping for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netsim.config import CYCLE_TIME_NS
+
+
+@dataclass
+class RunStats:
+    """Latency/throughput statistics over a measurement window."""
+
+    measure_start: int
+    measure_end: int
+    latencies_cycles: List[int] = field(default_factory=list)
+    flits_delivered: int = 0
+    flits_offered: int = 0
+    n_terminals: int = 0
+
+    @property
+    def packets_delivered(self) -> int:
+        return len(self.latencies_cycles)
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        if not self.latencies_cycles:
+            return float("nan")
+        return sum(self.latencies_cycles) / len(self.latencies_cycles)
+
+    @property
+    def avg_latency_ns(self) -> float:
+        return self.avg_latency_cycles * CYCLE_TIME_NS
+
+    @property
+    def p99_latency_cycles(self) -> float:
+        if not self.latencies_cycles:
+            return float("nan")
+        ordered = sorted(self.latencies_cycles)
+        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return float(ordered[index])
+
+    @property
+    def measured_cycles(self) -> int:
+        return self.measure_end - self.measure_start
+
+    @property
+    def accepted_load(self) -> float:
+        """Delivered flits per cycle per terminal."""
+        cycles = self.measured_cycles
+        if cycles <= 0 or self.n_terminals == 0:
+            return 0.0
+        return self.flits_delivered / cycles / self.n_terminals
+
+    @property
+    def offered_load(self) -> float:
+        cycles = self.measured_cycles
+        if cycles <= 0 or self.n_terminals == 0:
+            return 0.0
+        return self.flits_offered / cycles / self.n_terminals

@@ -1,0 +1,150 @@
+"""Sub-switch chiplet (SSC) models (paper Table II, Sections III.C, V).
+
+The paper's SSC is a Tomahawk-5-like die: 51.2 Tbps of switching
+capacity, 500 W total (400 W excluding I/O at 2 pJ/bit), 800 mm^2,
+configurable as 256x200G, 128x400G, or 64x800G. Two derived forms:
+
+* **Deradixed SSCs** (Section V.C): same die area (hence the same
+  inter-chiplet I/O and feedthrough budget) but intentionally reduced
+  radix, trading ports for per-port internal bandwidth headroom.
+* **Scaled leaf dies** (Section V.B): smaller, lower-radix dies (scaled
+  Tomahawk-3/4-like) used as disaggregated Clos leaves in the
+  heterogeneous design. Their non-I/O power follows the quadratic law,
+  and their area scales linearly with radix (port logic and buffering
+  dominate a switch die's floorplan).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.tech.power import switch_core_power
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class SubSwitchChiplet:
+    """A single sub-switch die placed on the waferscale substrate.
+
+    Attributes:
+        name: Model name.
+        radix: Number of bidirectional ports the die exposes.
+        port_bandwidth_gbps: Line rate per port.
+        area_mm2: Die area; also determines the chiplet's footprint on
+            the wafer grid and the shared-edge length with neighbors.
+        core_power_w: Power excluding all I/O (switching fabric, buffers,
+            lookup pipelines).
+        io_energy_pj_per_bit: Energy per bit of the die's (replaced)
+            off-chip I/O; kept for deriving core power from datasheet
+            totals.
+    """
+
+    name: str
+    radix: int
+    port_bandwidth_gbps: float
+    area_mm2: float
+    core_power_w: float
+    io_energy_pj_per_bit: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.radix < 2:
+            raise ValueError(f"radix must be >= 2, got {self.radix}")
+        require_positive("port_bandwidth_gbps", self.port_bandwidth_gbps)
+        require_positive("area_mm2", self.area_mm2)
+        require_positive("core_power_w", self.core_power_w)
+
+    @property
+    def switching_capacity_gbps(self) -> float:
+        """Aggregate line-side capacity of the die."""
+        return self.radix * self.port_bandwidth_gbps
+
+    @property
+    def side_mm(self) -> float:
+        """Side of the (square) die; the shared edge with a neighbor."""
+        return math.sqrt(self.area_mm2)
+
+    def deradixed(self, factor: int) -> "SubSwitchChiplet":
+        """Reduce radix by ``factor`` keeping area (feedthrough I/O) fixed.
+
+        The die is deliberately under-populated with ports; core power
+        follows the quadratic law at the reduced radix.
+        """
+        if factor < 1 or self.radix % factor != 0:
+            raise ValueError(
+                f"deradix factor {factor} must divide radix {self.radix}"
+            )
+        if factor == 1:
+            return self
+        new_radix = self.radix // factor
+        return replace(
+            self,
+            name=f"{self.name} (deradixed /{factor})",
+            radix=new_radix,
+            core_power_w=switch_core_power(
+                new_radix,
+                reference_power_w=self.core_power_w,
+                reference_radix=self.radix,
+            ),
+        )
+
+
+def tomahawk5(ports: int = 256, port_bandwidth_gbps: float = 200.0) -> SubSwitchChiplet:
+    """TH-5-like SSC in one of its Table II configurations.
+
+    All configurations expose the same 51.2 Tbps and the same die; only
+    the port slicing differs.
+    """
+    valid: Dict[int, float] = {256: 200.0, 128: 400.0, 64: 800.0}
+    if ports not in valid or valid[ports] != port_bandwidth_gbps:
+        raise ValueError(
+            "TH-5 supports 256x200G, 128x400G, or 64x800G; "
+            f"got {ports}x{port_bandwidth_gbps:g}G"
+        )
+    return SubSwitchChiplet(
+        name=f"TH-5 {ports}x{port_bandwidth_gbps:g}G",
+        radix=ports,
+        port_bandwidth_gbps=port_bandwidth_gbps,
+        area_mm2=800.0,
+        core_power_w=400.0,
+    )
+
+
+#: The three Table II configurations, keyed by port count.
+TH5_CONFIGURATIONS = {
+    256: tomahawk5(256, 200.0),
+    128: tomahawk5(128, 400.0),
+    64: tomahawk5(64, 800.0),
+}
+
+
+def scaled_leaf_die(
+    radix: int,
+    port_bandwidth_gbps: float = 200.0,
+    reference: SubSwitchChiplet = None,
+) -> SubSwitchChiplet:
+    """A scaled, lower-radix die used as a heterogeneous Clos leaf.
+
+    Power follows the quadratic law anchored on the reference die
+    (TH-5 by default); area scales linearly with radix so that a set of
+    disaggregated leaves occupies roughly the same substrate area as the
+    leaf it replaces. A quarter-radix die at 200 G per port is a "scaled
+    Tomahawk-3"-like part (12.8 Tbps); a half-radix die is a "scaled
+    Tomahawk-4"-like part (25.6 Tbps).
+    """
+    ref = reference if reference is not None else tomahawk5()
+    if radix < 2 or radix > ref.radix:
+        raise ValueError(
+            f"scaled leaf radix must be in [2, {ref.radix}], got {radix}"
+        )
+    capacity_tbps = radix * port_bandwidth_gbps / 1000.0
+    return SubSwitchChiplet(
+        name=f"scaled leaf {radix}x{port_bandwidth_gbps:g}G ({capacity_tbps:g}T)",
+        radix=radix,
+        port_bandwidth_gbps=port_bandwidth_gbps,
+        area_mm2=ref.area_mm2 * radix / ref.radix,
+        core_power_w=switch_core_power(
+            radix, reference_power_w=ref.core_power_w, reference_radix=ref.radix
+        ),
+    )

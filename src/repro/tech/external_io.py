@@ -1,0 +1,120 @@
+"""External I/O technology models (paper Table IV, Section III.B).
+
+A waferscale switch must move ``N x port_bandwidth`` of traffic in each
+direction between the wafer and the outside world. Three schemes:
+
+* **SerDes** (periphery): conventional transceiver chiplets on the wafer
+  perimeter — 512 Gbps/mm of perimeter, one layer. This is what existing
+  waferscale systems use and is the paper's baseline.
+* **Optical I/O** (periphery): on-substrate electrical/optical conversion
+  chiplets — 800 Gbps/mm/layer over 4 layers (3200 Gbps/mm of perimeter).
+* **Area I/O**: transceivers interspersed across the substrate; signals
+  escape through through-wafer vias into a mezzanine PCB — 16 Gbps/mm^2
+  of substrate area.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.units import require_positive
+
+
+class IOPlacement(enum.Enum):
+    """Where an external I/O technology's capacity comes from."""
+
+    PERIPHERY = "periphery"
+    AREA = "area"
+
+
+@dataclass(frozen=True)
+class ExternalIOTechnology:
+    """External connectivity technology for a waferscale substrate.
+
+    For periphery technologies ``bandwidth_density`` is Gbps per mm of
+    substrate perimeter per layer (per direction); for area technologies
+    it is Gbps per mm^2 of substrate area (per direction) and ``layers``
+    must be 1.
+    """
+
+    name: str
+    placement: IOPlacement
+    bandwidth_density: float
+    layers: int
+    energy_pj_per_bit: float
+    #: Extra provisioning each bidirectional port needs on top of the
+    #: nominal 2 x port_bw. Conventional SerDes quotes unidirectional
+    #: transmit density and needs separate TX and RX edge allocations
+    #: (plus MAC/FEC overhead), so it provisions 2x; optical I/O and
+    #: area I/O quote full-duplex densities.
+    required_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive("bandwidth_density", self.bandwidth_density)
+        if self.layers < 1:
+            raise ValueError("layers must be >= 1")
+        if self.placement is IOPlacement.AREA and self.layers != 1:
+            raise ValueError("area I/O is single-layer by construction")
+        require_positive("energy_pj_per_bit", self.energy_pj_per_bit)
+        require_positive("required_multiplier", self.required_multiplier)
+
+    def required_gbps(self, n_ports: int, port_bandwidth_gbps: float) -> float:
+        """External capacity the given port count consumes."""
+        return 2.0 * n_ports * port_bandwidth_gbps * self.required_multiplier
+
+    def capacity_gbps(self, substrate_side_mm: float) -> float:
+        """Total per-direction external bandwidth for a square substrate."""
+        require_positive("substrate_side_mm", substrate_side_mm)
+        if self.placement is IOPlacement.PERIPHERY:
+            perimeter_mm = 4.0 * substrate_side_mm
+            return perimeter_mm * self.bandwidth_density * self.layers
+        return substrate_side_mm * substrate_side_mm * self.bandwidth_density
+
+    def max_bidirectional_ports(
+        self, substrate_side_mm: float, port_bandwidth_gbps: float
+    ) -> int:
+        """External-bandwidth-limited port count.
+
+        Each bidirectional port consumes ``port_bandwidth`` of ingress
+        *and* egress capacity; periphery/area budgets above are per
+        direction shared across both, i.e. a port costs
+        ``2 x port_bandwidth`` of the technology's capacity. This
+        reproduces the paper's SerDes ceiling of 512 ports at 200 Gbps on
+        a 200-300 mm substrate.
+        """
+        require_positive("port_bandwidth_gbps", port_bandwidth_gbps)
+        capacity = self.capacity_gbps(substrate_side_mm)
+        return int(
+            capacity // (2.0 * port_bandwidth_gbps * self.required_multiplier)
+        )
+
+
+SERDES_IO = ExternalIOTechnology(
+    name="SerDes",
+    placement=IOPlacement.PERIPHERY,
+    bandwidth_density=512.0,
+    layers=1,
+    energy_pj_per_bit=8.0,
+    required_multiplier=2.0,
+)
+
+OPTICAL_IO = ExternalIOTechnology(
+    name="Optical I/O",
+    placement=IOPlacement.PERIPHERY,
+    bandwidth_density=800.0,
+    layers=4,
+    energy_pj_per_bit=5.0,
+)
+
+AREA_IO = ExternalIOTechnology(
+    name="Area I/O",
+    placement=IOPlacement.AREA,
+    bandwidth_density=16.0,
+    layers=1,
+    energy_pj_per_bit=8.0,
+)
+
+EXTERNAL_IO_TECHNOLOGIES = {
+    tech.name: tech for tech in (SERDES_IO, OPTICAL_IO, AREA_IO)
+}

@@ -1,0 +1,108 @@
+"""Power scaling laws used by the design-space model.
+
+Two laws from the paper:
+
+1. **Quadratic switch-core power** (Section V.B, Fig 15): commodity
+   high-radix switch ASICs show near-quadratic scaling of (process-
+   normalized, non-I/O) power with radix. We expose both the fit over a
+   dataset and a direct ``P = P_ref * (k / k_ref)^2`` model anchored on
+   the TH-5 point (400 W non-I/O at radix 256).
+
+2. **Link Vdd/frequency scaling** (Section V.A): for an on-substrate
+   wire, ``P ∝ Vdd^2`` and ``B ∝ (Vdd - Vth)^2 / Vdd``. Given a desired
+   bandwidth multiplier we solve for the required Vdd and return the
+   energy-per-bit multiplier.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.units import require_positive
+
+
+def switch_core_power(
+    radix: int,
+    reference_power_w: float = 400.0,
+    reference_radix: int = 256,
+    exponent: float = 2.0,
+) -> float:
+    """Non-I/O power of a sub-switch of the given radix.
+
+    Anchored on the TH-5 point by default: 400 W of non-I/O power at
+    radix 256 (500 W total minus I/O power at 2 pJ/bit, Table II).
+    """
+    if radix < 1:
+        raise ValueError(f"radix must be >= 1, got {radix}")
+    require_positive("reference_power_w", reference_power_w)
+    return reference_power_w * (radix / reference_radix) ** exponent
+
+
+def quadratic_power_fit(
+    radixes: Sequence[float], powers_w: Sequence[float]
+) -> Tuple[float, float]:
+    """Least-squares fit of ``P = a * k^2`` to (radix, power) samples.
+
+    Returns ``(a, rms_relative_error)``. Used to validate the quadratic
+    model against the normalized Tomahawk / TeraLynx datapoints (Fig 15).
+    """
+    if len(radixes) != len(powers_w) or not radixes:
+        raise ValueError("radixes and powers_w must be equal-length, non-empty")
+    num = sum(p * k * k for k, p in zip(radixes, powers_w))
+    den = sum((k * k) ** 2 for k in radixes)
+    a = num / den
+    rel_errors = [
+        (a * k * k - p) / p for k, p in zip(radixes, powers_w) if p > 0
+    ]
+    rms = math.sqrt(sum(e * e for e in rel_errors) / len(rel_errors))
+    return a, rms
+
+
+def _bandwidth_at(vdd: float, vth: float) -> float:
+    """Unnormalized wire bandwidth at the given supply, ``(Vdd-Vth)^2/Vdd``."""
+    return (vdd - vth) ** 2 / vdd
+
+
+def solve_vdd_for_bandwidth(
+    bandwidth_multiplier: float, vdd0: float = 1.0, vth: float = 0.3125
+) -> float:
+    """Solve for the Vdd that multiplies wire bandwidth by the given factor.
+
+    ``B(Vdd) = (Vdd - Vth)^2 / Vdd`` is monotonically increasing for
+    ``Vdd > Vth``; the quadratic in Vdd solves in closed form:
+
+    ``(Vdd - Vth)^2 = m * B0 * Vdd``  with  ``B0 = B(vdd0)`` gives
+    ``Vdd^2 - (2*Vth + m*B0) * Vdd + Vth^2 = 0``.
+    """
+    require_positive("bandwidth_multiplier", bandwidth_multiplier)
+    if vdd0 <= vth:
+        raise ValueError(f"vdd0 ({vdd0}) must exceed vth ({vth})")
+    target = bandwidth_multiplier * _bandwidth_at(vdd0, vth)
+    b_coeff = 2.0 * vth + target
+    disc = b_coeff * b_coeff - 4.0 * vth * vth
+    vdd = (b_coeff + math.sqrt(disc)) / 2.0
+    return vdd
+
+
+def link_energy_scaling(
+    bandwidth_multiplier: float, vth_over_vdd: float = 0.3125
+) -> float:
+    """Energy-per-bit multiplier for scaling a wire's bandwidth.
+
+    Power scales with Vdd^2 and with frequency; energy *per bit* scales
+    with Vdd^2 only (each bit is one switching event), so the multiplier
+    is ``(Vdd_new / Vdd_old)^2``.
+
+    For the paper's doubling (3200 -> 6400 Gbps/mm) with the default
+    threshold ratio this yields ~2.3x energy per bit, i.e. ~4.5x internal
+    I/O power at the doubled bandwidth — consistent with the paper's
+    "up to 3.5x larger total power" once the non-scaled components are
+    included.
+    """
+    if not 0.0 < vth_over_vdd < 1.0:
+        raise ValueError("vth_over_vdd must be in (0, 1)")
+    vdd0 = 1.0
+    vth = vth_over_vdd
+    vdd = solve_vdd_for_bandwidth(bandwidth_multiplier, vdd0, vth)
+    return (vdd / vdd0) ** 2

@@ -1,0 +1,63 @@
+"""Process-node power normalization (Stillmaker & Baas style).
+
+The paper (Fig 15) normalizes reported powers of commodity switch ASICs
+built in different process nodes to the 5 nm node, citing the scaling
+equations of Stillmaker & Baas, "Scaling equations for the accurate
+prediction of CMOS device performance from 180nm to 7nm" (Integration'17).
+
+We implement the commonly used reduced form of that methodology: a
+per-node table of relative switching energy (CV^2) normalized to 7 nm,
+extended to 5 nm with the same fitted trend. Power at iso-throughput
+scales with the energy factor, which is what matters for comparing
+switch ASICs that are each run at their design throughput.
+"""
+
+from __future__ import annotations
+
+#: Relative dynamic energy per operation by node, normalized so that the
+#: 5 nm entry is 1.0. Values follow the Stillmaker-Baas general-purpose
+#: scaling fit (energy ratio ~ proportional to CV^2 trend across nodes).
+_ENERGY_FACTOR_VS_5NM = {
+    180: 85.0,
+    130: 46.0,
+    90: 26.0,
+    65: 14.0,
+    45: 8.6,
+    40: 7.6,
+    32: 5.4,
+    28: 4.6,
+    22: 3.4,
+    16: 2.2,
+    14: 2.0,
+    12: 1.8,
+    10: 1.5,
+    7: 1.25,
+    5: 1.0,
+    3: 0.8,
+}
+
+SUPPORTED_NODES_NM = tuple(sorted(_ENERGY_FACTOR_VS_5NM))
+
+
+def energy_factor(node_nm: int) -> float:
+    """Relative dynamic energy of ``node_nm`` vs the 5 nm node."""
+    try:
+        return _ENERGY_FACTOR_VS_5NM[node_nm]
+    except KeyError:
+        raise ValueError(
+            f"unsupported process node {node_nm} nm; "
+            f"supported: {SUPPORTED_NODES_NM}"
+        ) from None
+
+
+def normalize_power_to_node(
+    power_w: float, from_node_nm: int, to_node_nm: int = 5
+) -> float:
+    """Scale a reported power from one process node to another.
+
+    At iso-throughput, power follows the per-bit switching energy, so the
+    normalized power is ``power * E(to) / E(from)``.
+    """
+    if power_w < 0:
+        raise ValueError(f"power must be non-negative, got {power_w}")
+    return power_w * energy_factor(to_node_nm) / energy_factor(from_node_nm)

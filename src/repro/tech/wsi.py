@@ -1,0 +1,132 @@
+"""Waferscale integration (WSI) technology models (paper Table I, Section V.A).
+
+A :class:`WSITechnology` describes the on-substrate interconnect between
+adjacent chiplets: how many Gbps of bandwidth each millimetre of shared
+chiplet edge supplies, at what energy per bit, and at what per-hop latency.
+
+The paper's primary technology is a Si-IF-like substrate with a 4 um wire
+pitch and four signal metal layers at 800 Gbps/mm/layer (3200 Gbps/mm
+total), and an "overdriven" variant at double the link frequency
+(6400 Gbps/mm) obtained by raising Vdd, with the energy-per-bit penalty
+derived from the alpha-power relationships of Section V.A
+(``P ∝ Vdd^2``, ``B ∝ (Vdd - Vth)^2 / Vdd``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.tech.power import link_energy_scaling
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class WSITechnology:
+    """On-wafer inter-chiplet interconnect technology.
+
+    Attributes:
+        name: Human-readable technology name.
+        bandwidth_density_gbps_per_mm_per_layer: Bandwidth each mm of
+            chiplet edge supplies per signal metal layer, per direction.
+        signal_layers: Number of signal metal layers available for
+            inter-chiplet communication (the paper alternates signal and
+            power/ground layers, so 4 signal layers = 8 total).
+        energy_pj_per_bit: Energy per transferred bit per hop.
+        hop_latency_ns: Latency of a single inter-chiplet hop.
+        io_pitch_um: Chiplet-to-substrate I/O pitch (documentation only).
+        max_substrate_mm: Largest supported (square) substrate side.
+    """
+
+    name: str
+    bandwidth_density_gbps_per_mm_per_layer: float
+    signal_layers: int
+    energy_pj_per_bit: float
+    hop_latency_ns: float
+    io_pitch_um: float
+    max_substrate_mm: float
+
+    def __post_init__(self) -> None:
+        require_positive(
+            "bandwidth_density_gbps_per_mm_per_layer",
+            self.bandwidth_density_gbps_per_mm_per_layer,
+        )
+        if self.signal_layers < 1:
+            raise ValueError("signal_layers must be >= 1")
+        require_positive("energy_pj_per_bit", self.energy_pj_per_bit)
+        require_positive("hop_latency_ns", self.hop_latency_ns)
+        require_positive("max_substrate_mm", self.max_substrate_mm)
+
+    @property
+    def bandwidth_density_gbps_per_mm(self) -> float:
+        """Total per-direction bandwidth density across all signal layers."""
+        return self.bandwidth_density_gbps_per_mm_per_layer * self.signal_layers
+
+    def edge_capacity_gbps(self, shared_edge_mm: float) -> float:
+        """Per-direction bandwidth between two chiplets sharing an edge."""
+        require_positive("shared_edge_mm", shared_edge_mm)
+        return self.bandwidth_density_gbps_per_mm * shared_edge_mm
+
+    def overdriven(self, bandwidth_multiplier: float, vth_over_vdd: float = 0.3125) -> "WSITechnology":
+        """Derive a higher-bandwidth variant by scaling link Vdd/frequency.
+
+        Uses the Section V.A relationships to compute the energy-per-bit
+        penalty for running each wire ``bandwidth_multiplier`` times
+        faster. The default ``vth_over_vdd`` corresponds to
+        Vth = 0.25 V at Vdd = 0.8 V, a typical near-threshold-ratio for
+        short-reach on-substrate links.
+        """
+        energy_mult = link_energy_scaling(bandwidth_multiplier, vth_over_vdd)
+        return replace(
+            self,
+            name=f"{self.name} (x{bandwidth_multiplier:g} overdrive)",
+            bandwidth_density_gbps_per_mm_per_layer=(
+                self.bandwidth_density_gbps_per_mm_per_layer * bandwidth_multiplier
+            ),
+            energy_pj_per_bit=self.energy_pj_per_bit * energy_mult,
+        )
+
+
+#: Si-IF-like substrate: 4 um pitch, 800 Gbps/mm/layer, 4 signal layers,
+#: for 3200 Gbps/mm total (the paper's baseline internal bandwidth).
+SI_IF = WSITechnology(
+    name="Si-IF",
+    bandwidth_density_gbps_per_mm_per_layer=800.0,
+    signal_layers=4,
+    energy_pj_per_bit=0.3,
+    hop_latency_ns=1.0,
+    io_pitch_um=4.0,
+    max_substrate_mm=300.0,
+)
+
+#: The paper's 6400 Gbps/mm point: Si-IF links run at double frequency
+#: with Vdd scaled up accordingly (1600 Gbps/mm/layer x 4 layers).
+SI_IF_OVERDRIVEN = SI_IF.overdriven(2.0)
+
+#: TSMC InFO-SoW-like substrate: much higher bandwidth density
+#: (12.8 Tbps/mm as used in Fig 12) at 1.5 pJ/bit.
+INFO_SOW = WSITechnology(
+    name="InFO-SoW",
+    bandwidth_density_gbps_per_mm_per_layer=3200.0,
+    signal_layers=4,
+    energy_pj_per_bit=1.5,
+    hop_latency_ns=1.0,
+    io_pitch_um=80.0,
+    max_substrate_mm=300.0,
+)
+
+#: Conventional 2.5D silicon interposer, for context (Table I): limited
+#: to ~8.5 cm^2, i.e. roughly a 29 mm square — a single-SSC substrate.
+SILICON_INTERPOSER = WSITechnology(
+    name="Silicon interposer",
+    bandwidth_density_gbps_per_mm_per_layer=1000.0,
+    signal_layers=1,
+    energy_pj_per_bit=0.25,
+    hop_latency_ns=0.1,
+    io_pitch_um=6.0,
+    max_substrate_mm=29.0,
+)
+
+WSI_TECHNOLOGIES = {
+    tech.name: tech
+    for tech in (SI_IF, SI_IF_OVERDRIVEN, INFO_SOW, SILICON_INTERPOSER)
+}

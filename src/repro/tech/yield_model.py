@@ -1,0 +1,152 @@
+"""Manufacturing yield models (Section III.A's chiplet-vs-monolithic case).
+
+The paper picks chiplet-based WSI because known-good-die (KGD) testing
+plus high-yield bonding (>99.9 % per chiplet [48]) gives high system
+yield, whereas monolithic waferscale integration must tolerate every
+defect on the wafer through built-in redundancy. This module quantifies
+that argument:
+
+* Die yield follows the negative-binomial (Murphy-style) model
+  ``Y = (1 + A * D0 / alpha) ** -alpha`` with defect density ``D0`` in
+  defects/mm^2 and clustering parameter ``alpha``.
+* A monolithic waferscale part works only if enough of its reticle
+  sites yield (given a redundancy budget).
+* A chiplet-based waferscale system bonds pre-tested KGDs, so its yield
+  is the bonding yield compounded over the chiplet count (optionally
+  with spare sites for rework).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import require_positive
+
+#: Typical advanced-node defect density (defects per mm^2).
+DEFAULT_DEFECT_DENSITY = 0.001
+#: Negative-binomial clustering parameter.
+DEFAULT_CLUSTERING_ALPHA = 2.0
+#: Chiplet-to-substrate bonding yield reported for Si-IF-class flows.
+DEFAULT_BOND_YIELD = 0.999
+
+
+def die_yield(
+    area_mm2: float,
+    defect_density_per_mm2: float = DEFAULT_DEFECT_DENSITY,
+    clustering_alpha: float = DEFAULT_CLUSTERING_ALPHA,
+) -> float:
+    """Negative-binomial yield of a die of the given area."""
+    require_positive("area_mm2", area_mm2)
+    require_positive("clustering_alpha", clustering_alpha)
+    if defect_density_per_mm2 < 0:
+        raise ValueError("defect density must be non-negative")
+    term = area_mm2 * defect_density_per_mm2 / clustering_alpha
+    return (1.0 + term) ** (-clustering_alpha)
+
+
+def _binomial_at_least(n: int, k: int, p: float) -> float:
+    """P[X >= k] for X ~ Binomial(n, p)."""
+    total = 0.0
+    for successes in range(k, n + 1):
+        total += (
+            math.comb(n, successes)
+            * p**successes
+            * (1.0 - p) ** (n - successes)
+        )
+    return min(total, 1.0)
+
+
+def monolithic_wafer_yield(
+    n_sites: int,
+    site_area_mm2: float,
+    required_sites: int = None,
+    defect_density_per_mm2: float = DEFAULT_DEFECT_DENSITY,
+    clustering_alpha: float = DEFAULT_CLUSTERING_ALPHA,
+) -> float:
+    """Yield of a monolithic waferscale part.
+
+    ``required_sites`` working reticle sites out of ``n_sites`` must
+    yield (the difference is the architecture's redundancy budget, as
+    in Cerebras' spare-row approach). Without redundancy the yield
+    collapses exponentially with wafer area.
+    """
+    if n_sites < 1:
+        raise ValueError("n_sites must be >= 1")
+    needed = n_sites if required_sites is None else required_sites
+    if not 1 <= needed <= n_sites:
+        raise ValueError("required_sites must be in [1, n_sites]")
+    per_site = die_yield(site_area_mm2, defect_density_per_mm2, clustering_alpha)
+    return _binomial_at_least(n_sites, needed, per_site)
+
+
+def chiplet_system_yield(
+    n_chiplets: int,
+    bond_yield: float = DEFAULT_BOND_YIELD,
+    spare_sites: int = 0,
+) -> float:
+    """Yield of a chiplet-based waferscale assembly.
+
+    Chiplets are KGD-tested before bonding, so only the bonding step
+    can fail. With ``spare_sites`` the assembly tolerates that many
+    failed bonds (spare chiplets are bonded alongside and swapped in by
+    the mapping layer).
+    """
+    if n_chiplets < 1:
+        raise ValueError("n_chiplets must be >= 1")
+    if not 0.0 < bond_yield <= 1.0:
+        raise ValueError("bond_yield must be in (0, 1]")
+    if spare_sites < 0:
+        raise ValueError("spare_sites must be non-negative")
+    total = n_chiplets + spare_sites
+    return _binomial_at_least(total, n_chiplets, bond_yield)
+
+
+@dataclass(frozen=True)
+class YieldComparison:
+    """Monolithic vs chiplet-based yield for one waferscale system."""
+
+    n_chiplets: int
+    chiplet_area_mm2: float
+    monolithic_no_redundancy: float
+    monolithic_with_redundancy: float
+    chiplet_based: float
+
+    @property
+    def chiplet_advantage(self) -> float:
+        """Yield ratio of chiplet assembly over redundant monolithic."""
+        if self.monolithic_with_redundancy == 0:
+            return float("inf")
+        return self.chiplet_based / self.monolithic_with_redundancy
+
+
+def compare_integration_yield(
+    n_chiplets: int,
+    chiplet_area_mm2: float = 800.0,
+    redundancy_fraction: float = 0.05,
+    defect_density_per_mm2: float = DEFAULT_DEFECT_DENSITY,
+    bond_yield: float = DEFAULT_BOND_YIELD,
+) -> YieldComparison:
+    """The Section III.A comparison for an ``n_chiplets`` system."""
+    if not 0.0 <= redundancy_fraction < 1.0:
+        raise ValueError("redundancy_fraction must be in [0, 1)")
+    spare = int(n_chiplets * redundancy_fraction)
+    total_sites = n_chiplets + spare
+    return YieldComparison(
+        n_chiplets=n_chiplets,
+        chiplet_area_mm2=chiplet_area_mm2,
+        monolithic_no_redundancy=monolithic_wafer_yield(
+            n_chiplets,
+            chiplet_area_mm2,
+            defect_density_per_mm2=defect_density_per_mm2,
+        ),
+        monolithic_with_redundancy=monolithic_wafer_yield(
+            total_sites,
+            chiplet_area_mm2,
+            required_sites=n_chiplets,
+            defect_density_per_mm2=defect_density_per_mm2,
+        ),
+        chiplet_based=chiplet_system_yield(
+            n_chiplets, bond_yield=bond_yield, spare_sites=spare
+        ),
+    )

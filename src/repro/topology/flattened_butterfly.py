@@ -1,0 +1,88 @@
+"""2-D flattened butterfly of SSCs (Section VII, Fig 25).
+
+Routers form an ``rows x cols`` array; each router connects to every
+other router in its row and in its column (Kim et al., ISCA'07). With
+``d = (rows - 1) + (cols - 1)`` structural connections per router, each
+carries a bundle of ``w`` channels and the router exposes ``c``
+terminal ports, with ``c + d*w <= k``.
+
+The balanced sizing follows the flattened-butterfly rule of thumb that
+inter-router bandwidth should be ~half the terminal bandwidth per
+dimension hop (DOR traverses up to 2 hops), i.e. ``w = ceil(c / 2)``;
+we pick the largest ``c`` satisfying the radix budget. As a direct
+topology every router terminates ports, inflating the external
+bandwidth demand, which is why it trails Clos in the constrained
+analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.tech.chiplet import SubSwitchChiplet, tomahawk5
+from repro.topology.base import (
+    LogicalTopology,
+    NodeRole,
+    SwitchNode,
+    merge_links,
+)
+
+
+def _balanced_sizing(radix: int, degree: int) -> Tuple[int, int]:
+    """Largest terminal count ``c`` with ``c + degree*ceil(c/2) <= radix``."""
+    best = (1, 1)
+    for c in range(1, radix + 1):
+        w = -(-c // 2)
+        if c + degree * w <= radix:
+            best = (c, w)
+        else:
+            break
+    return best
+
+
+def flattened_butterfly(
+    rows: int,
+    cols: int,
+    ssc: Optional[SubSwitchChiplet] = None,
+) -> LogicalTopology:
+    """Build an ``rows x cols`` 2-D flattened butterfly."""
+    chiplet = ssc if ssc is not None else tomahawk5()
+    if rows < 2 or cols < 2:
+        raise ValueError("flattened butterfly needs rows, cols >= 2")
+
+    k = chiplet.radix
+    degree = (rows - 1) + (cols - 1)
+    terminals, bundle = _balanced_sizing(k, degree)
+
+    def node_index(r: int, c: int) -> int:
+        return r * cols + c
+
+    raw_links = []
+    for r in range(rows):
+        for c1 in range(cols):
+            for c2 in range(c1 + 1, cols):
+                raw_links.append((node_index(r, c1), node_index(r, c2), bundle))
+    for c in range(cols):
+        for r1 in range(rows):
+            for r2 in range(r1 + 1, rows):
+                raw_links.append((node_index(r1, c), node_index(r2, c), bundle))
+
+    nodes = []
+    for r in range(rows):
+        for c in range(cols):
+            nodes.append(
+                SwitchNode(
+                    index=node_index(r, c),
+                    role=NodeRole.CORE,
+                    chiplet=chiplet,
+                    external_ports=terminals,
+                )
+            )
+
+    return LogicalTopology(
+        name=f"flattened-butterfly {rows}x{cols} k={k}",
+        nodes=tuple(nodes),
+        links=tuple(merge_links(raw_links)),
+        port_bandwidth_gbps=chiplet.port_bandwidth_gbps,
+        path_diversity=2,  # XY vs YX dimension orders
+    )

@@ -1,0 +1,92 @@
+"""Direct 2-D mesh switch topology (Section VII, Fig 25).
+
+Every SSC both terminates external ports and routes neighbor traffic.
+Mesh maps trivially onto the physical substrate (every logical link is a
+physical neighbor link), which is why the paper credits it with ~10 %
+higher radix than mapped Clos — but it is highly blocking with poor
+bisection bandwidth, which the topology object reports.
+
+``internal_fraction`` controls how much of each SSC's radix is devoted
+to neighbor links (split across its 2-4 mesh neighbors); the remainder
+terminates external ports. The default 0.6 reflects the paper's
+ideal-case mesh sizing, where roughly 40 % of aggregate SSC radix is
+exposed externally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tech.chiplet import SubSwitchChiplet, tomahawk5
+from repro.topology.base import (
+    LogicalTopology,
+    NodeRole,
+    SwitchNode,
+    merge_links,
+)
+
+
+def direct_mesh(
+    rows: int,
+    cols: int,
+    ssc: Optional[SubSwitchChiplet] = None,
+    internal_fraction: float = 0.6,
+) -> LogicalTopology:
+    """Build an ``rows x cols`` direct mesh of SSCs.
+
+    Each SSC dedicates ``internal_fraction`` of its radix to mesh links,
+    sized per-direction as if it had 4 neighbors; edge and corner SSCs
+    recover the unused channels as additional external ports.
+    """
+    chiplet = ssc if ssc is not None else tomahawk5()
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh dimensions must be >= 1")
+    if rows * cols < 2:
+        raise ValueError("mesh must contain at least two SSCs")
+    if not 0.0 < internal_fraction < 1.0:
+        raise ValueError("internal_fraction must be in (0, 1)")
+
+    k = chiplet.radix
+    per_direction = max(1, int(internal_fraction * k / 4))
+
+    def node_index(r: int, c: int) -> int:
+        return r * cols + c
+
+    raw_links = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                raw_links.append(
+                    (node_index(r, c), node_index(r, c + 1), per_direction)
+                )
+            if r + 1 < rows:
+                raw_links.append(
+                    (node_index(r, c), node_index(r + 1, c), per_direction)
+                )
+
+    links = merge_links(raw_links)
+    channels_used = {}
+    for link in links:
+        channels_used[link.a] = channels_used.get(link.a, 0) + link.channels
+        channels_used[link.b] = channels_used.get(link.b, 0) + link.channels
+
+    nodes = []
+    for r in range(rows):
+        for c in range(cols):
+            idx = node_index(r, c)
+            nodes.append(
+                SwitchNode(
+                    index=idx,
+                    role=NodeRole.CORE,
+                    chiplet=chiplet,
+                    external_ports=k - channels_used.get(idx, 0),
+                )
+            )
+
+    return LogicalTopology(
+        name=f"mesh {rows}x{cols} k={k}",
+        nodes=tuple(nodes),
+        links=tuple(links),
+        port_bandwidth_gbps=chiplet.port_bandwidth_gbps,
+        path_diversity=1,
+    )

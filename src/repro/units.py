@@ -1,0 +1,72 @@
+"""Unit helpers and physical constants shared across the library.
+
+All internal computation uses a consistent unit system:
+
+* bandwidth        — Gbps (gigabits per second)
+* length           — mm
+* area             — mm^2
+* power            — W
+* energy per bit   — pJ/bit
+* time             — ns
+
+The conversion helpers below exist so that call sites can state their
+units explicitly (``tbps(51.2)`` reads better than ``51.2e3``).
+"""
+
+from __future__ import annotations
+
+GBPS_PER_TBPS = 1000.0
+W_PER_KW = 1000.0
+MM_PER_CM = 10.0
+NS_PER_US = 1000.0
+
+#: Rack unit height in mm (EIA-310), used by the system-architecture model.
+MM_PER_RU = 44.45
+
+
+def tbps(value: float) -> float:
+    """Convert terabits per second to the library's Gbps unit."""
+    return value * GBPS_PER_TBPS
+
+
+def gbps_to_tbps(value: float) -> float:
+    """Convert Gbps to Tbps (for reporting)."""
+    return value / GBPS_PER_TBPS
+
+
+def kw(value: float) -> float:
+    """Convert kilowatts to watts."""
+    return value * W_PER_KW
+
+
+def w_to_kw(value: float) -> float:
+    """Convert watts to kilowatts (for reporting)."""
+    return value / W_PER_KW
+
+
+def io_power_watts(bandwidth_gbps: float, energy_pj_per_bit: float) -> float:
+    """Power in watts of an I/O link.
+
+    ``Gbps * pJ/bit = 1e9 bit/s * 1e-12 J/bit = 1e-3 W``, hence the
+    division by 1000.
+    """
+    return bandwidth_gbps * energy_pj_per_bit / 1000.0
+
+
+def mm2_of_square(side_mm: float) -> float:
+    """Area of a square substrate of the given side."""
+    return side_mm * side_mm
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that a model parameter is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Validate that a model parameter is non-negative."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tech.chiplet import tomahawk5
+from repro.topology.clos import folded_clos
+
+
+@pytest.fixture
+def th5():
+    return tomahawk5()
+
+
+@pytest.fixture
+def small_clos():
+    """1024-port Clos (12 chiplets) — cheap enough for mapping tests."""
+    return folded_clos(1024)
+
+
+@pytest.fixture
+def tiny_clos():
+    """A 16-port Clos of radix-8 SSCs for fast structural tests."""
+    from repro.tech.chiplet import SubSwitchChiplet
+
+    ssc = SubSwitchChiplet(
+        name="test-ssc",
+        radix=8,
+        port_bandwidth_gbps=200.0,
+        area_mm2=100.0,
+        core_power_w=50.0,
+    )
+    return folded_clos(16, ssc)

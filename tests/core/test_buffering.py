@@ -1,0 +1,64 @@
+"""Analytic buffer sizing (Section VI)."""
+
+import math
+
+import pytest
+
+from repro.core.buffering import (
+    buffer_requirements_by_connection,
+    on_wafer_buffer_reduction,
+    required_buffer_bits,
+    required_buffer_flits,
+)
+
+
+def test_rule_formula():
+    # 200 ns RTT x 200 Gbps / sqrt(1) = 40000 bits
+    assert required_buffer_bits(200.0, 200.0) == pytest.approx(40000.0)
+
+
+def test_sqrt_n_reduction():
+    one = required_buffer_bits(200.0, 200.0, n_flows=1)
+    many = required_buffer_bits(200.0, 200.0, n_flows=256)
+    assert many == pytest.approx(one / 16.0)
+
+
+def test_flit_rounding():
+    flits = required_buffer_flits(200.0, 200.0, flit_bits=4096)
+    assert flits == math.ceil(40000 / 4096)
+
+
+def test_flit_minimum_one():
+    assert required_buffer_flits(1.0, 1.0, n_flows=1024) == 1
+
+
+def test_requirements_cover_table_v():
+    requirements = buffer_requirements_by_connection()
+    assert set(requirements) == {"on-wafer", "in-rack PCB", "100m optical"}
+
+
+def test_on_wafer_needs_least_buffering():
+    requirements = buffer_requirements_by_connection()
+    assert (
+        requirements["on-wafer"].buffer_bits
+        < requirements["in-rack PCB"].buffer_bits
+        < requirements["100m optical"].buffer_bits
+    )
+
+
+def test_on_wafer_fits_sram():
+    """Section VI: small buffers can use fast SRAM instead of DRAM."""
+    requirements = buffer_requirements_by_connection()
+    assert requirements["on-wafer"].fits_sram
+
+
+def test_reduction_factor_is_rtt_ratio():
+    # 350 ns optical vs 20 ns on-wafer -> 17.5x smaller buffers.
+    assert on_wafer_buffer_reduction() == pytest.approx(350.0 / 20.0)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        required_buffer_bits(0.0, 200.0)
+    with pytest.raises(ValueError):
+        required_buffer_bits(10.0, 200.0, n_flows=0)

@@ -1,0 +1,88 @@
+"""Constraint limits and reports."""
+
+import pytest
+
+from repro.core.constraints import (
+    AREA_BANDWIDTH,
+    AREA_ONLY,
+    ConstraintLimits,
+    ConstraintReport,
+)
+from repro.tech.cooling import WATER_COOLING
+
+
+def _report(**overrides):
+    defaults = dict(
+        area_considered=True,
+        area_ok=True,
+        chiplet_area_mm2=1000.0,
+        usable_area_mm2=2000.0,
+        external_considered=True,
+        external_ok=True,
+        external_required_gbps=100.0,
+        external_capacity_gbps=200.0,
+        internal_considered=True,
+        internal_ok=True,
+        max_edge_channels=10,
+        available_per_port_gbps=300.0,
+        required_per_port_gbps=200.0,
+        cooling_considered=False,
+        cooling_ok=True,
+        power_density_w_per_mm2=0.1,
+        cooling_limit_w_per_mm2=float("inf"),
+    )
+    defaults.update(overrides)
+    return ConstraintReport(**defaults)
+
+
+def test_feasible_when_all_ok():
+    assert _report().feasible
+
+
+def test_infeasible_on_area():
+    report = _report(area_ok=False)
+    assert not report.feasible
+    assert report.binding_constraints() == ["area"]
+
+
+def test_unconsidered_constraint_ignored():
+    report = _report(area_ok=False, area_considered=False)
+    assert report.feasible
+    assert report.binding_constraints() == []
+
+
+def test_multiple_binding_constraints():
+    report = _report(external_ok=False, internal_ok=False)
+    assert set(report.binding_constraints()) == {
+        "external-bandwidth",
+        "internal-bandwidth",
+    }
+
+
+def test_cooling_binding():
+    report = _report(cooling_considered=True, cooling_ok=False)
+    assert report.binding_constraints() == ["power-density"]
+
+
+def test_area_only_preset():
+    assert AREA_ONLY.consider_area
+    assert not AREA_ONLY.consider_external
+    assert not AREA_ONLY.consider_internal
+
+
+def test_default_preset_considers_all_bandwidth():
+    assert AREA_BANDWIDTH.consider_internal
+    assert AREA_BANDWIDTH.consider_external
+    assert AREA_BANDWIDTH.cooling is None
+
+
+def test_capacity_fraction_validated():
+    with pytest.raises(ValueError):
+        ConstraintLimits(capacity_fraction=0.0)
+    with pytest.raises(ValueError):
+        ConstraintLimits(capacity_fraction=1.5)
+
+
+def test_cooling_limit_carried():
+    limits = ConstraintLimits(cooling=WATER_COOLING)
+    assert limits.cooling.max_power_density_w_per_mm2 == 0.5

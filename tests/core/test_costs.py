@@ -1,0 +1,38 @@
+"""Cost model (Section VIII.B)."""
+
+import pytest
+
+from repro.core.costs import (
+    compare_costs,
+    optics_cost_usd,
+    space_cost_usd_per_year,
+)
+from repro.core.use_cases import dcn_comparison
+
+
+def test_optics_cost_dominated_by_transceivers():
+    cost = optics_cost_usd(1000)
+    assert cost > 1000 * 2 * 5000.0
+    assert cost < 1000 * 2 * 5000.0 * 1.01
+
+
+def test_space_cost_range():
+    low, high = space_cost_usd_per_year(100)
+    assert low == pytest.approx(100 * 75 * 12)
+    assert high == pytest.approx(100 * 300 * 12)
+    assert low < high
+
+
+def test_dcn_savings_positive_and_large():
+    """Paper: millions (to hundreds of millions) of dollars saved."""
+    comparison = dcn_comparison(racks=16384)
+    costs = compare_costs(comparison)
+    assert costs.optics_savings_usd > 100e6
+    low, high = costs.total_first_year_savings_usd
+    assert high >= low > 100e6
+
+
+def test_space_savings_positive():
+    costs = compare_costs(dcn_comparison(racks=8192))
+    low, high = costs.space_savings_usd_per_year
+    assert high >= low > 0

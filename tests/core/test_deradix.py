@@ -1,0 +1,57 @@
+"""Subswitch deradixing (Section V.C, Figs 17-18)."""
+
+import pytest
+
+from repro.core.deradix import best_deradix_factor, deradix_sweep
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF, SI_IF_OVERDRIVEN
+
+
+@pytest.fixture(scope="module")
+def sweep_3200_200mm():
+    return deradix_sweep(
+        200.0, wsi=SI_IF, external_io=OPTICAL_IO, mapping_restarts=1
+    )
+
+
+def test_sweep_covers_factors(sweep_3200_200mm):
+    assert set(sweep_3200_200mm) == {1, 2, 4}
+
+
+def test_factor_radixes(sweep_3200_200mm):
+    assert sweep_3200_200mm[1].ssc_radix == 256
+    assert sweep_3200_200mm[2].ssc_radix == 128
+    assert sweep_3200_200mm[4].ssc_radix == 64
+
+
+def test_deradix2_matches_baseline_at_200mm_3200(sweep_3200_200mm):
+    """At 200 mm @3200 both 256- and 128-port SSCs reach 2048 ports."""
+    assert sweep_3200_200mm[1].max_ports == 2048
+    assert sweep_3200_200mm[2].max_ports == 2048
+
+
+def test_excess_deradix_regresses(sweep_3200_200mm):
+    """Fig 17: quartering the radix wastes area and loses ports."""
+    assert sweep_3200_200mm[4].max_ports < sweep_3200_200mm[1].max_ports
+
+
+def test_deradix_harmful_at_6400():
+    """Fig 18: with sufficient internal bandwidth deradixing only hurts."""
+    sweep = deradix_sweep(
+        200.0, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO, mapping_restarts=1
+    )
+    assert sweep[1].max_ports == 4096
+    assert sweep[2].max_ports < sweep[1].max_ports
+
+
+def test_best_factor_prefers_less_deradixing_on_tie(sweep_3200_200mm):
+    assert best_deradix_factor(sweep_3200_200mm) == 1
+
+
+def test_best_factor_picks_max():
+    fake = {
+        1: type("P", (), {"max_ports": 100})(),
+        2: type("P", (), {"max_ports": 300})(),
+        4: type("P", (), {"max_ports": 200})(),
+    }
+    assert best_deradix_factor(fake) == 2

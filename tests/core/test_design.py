@@ -1,0 +1,94 @@
+"""Design-point evaluation."""
+
+import pytest
+
+from repro.core.constraints import AREA_ONLY, ConstraintLimits
+from repro.core.design import (
+    cached_mapping,
+    clear_mapping_cache,
+    evaluate_design,
+    io_style_for,
+)
+from repro.mapping.routing import IOStyle
+from repro.tech.external_io import AREA_IO, OPTICAL_IO, SERDES_IO
+from repro.tech.wsi import SI_IF
+from repro.topology.clos import folded_clos
+
+
+def test_io_style_mapping():
+    assert io_style_for(None) is IOStyle.NONE
+    assert io_style_for(SERDES_IO) is IOStyle.PERIPHERY
+    assert io_style_for(OPTICAL_IO) is IOStyle.PERIPHERY
+    assert io_style_for(AREA_IO) is IOStyle.AREA
+
+
+def test_area_check(small_clos):
+    # 12 chiplets x 800 mm2 = 9600 mm2; a 90 mm substrate (8100) fails.
+    point = evaluate_design(90.0, small_clos, SI_IF, None, limits=AREA_ONLY)
+    assert not point.feasible
+    assert point.constraints.binding_constraints() == ["area"]
+
+
+def test_area_check_passes_at_100mm(small_clos):
+    point = evaluate_design(100.0, small_clos, SI_IF, None, limits=AREA_ONLY)
+    assert point.feasible
+
+
+def test_external_capacity_check(small_clos):
+    # 1024 ports on SerDes at 100 mm: requires 2*1024*200*2 = 819.2 Tbps
+    # against 204.8 Tbps -> infeasible.
+    point = evaluate_design(100.0, small_clos, SI_IF, SERDES_IO)
+    assert not point.feasible
+    assert "external-bandwidth" in point.constraints.binding_constraints()
+
+
+def test_internal_check_runs_only_after_cheap_checks(small_clos):
+    point = evaluate_design(90.0, small_clos, SI_IF, SERDES_IO)
+    # Area fails, so no mapping should have been computed.
+    assert point.mapping is None
+
+
+def test_feasible_design_has_mapping_and_power(small_clos):
+    point = evaluate_design(100.0, small_clos, SI_IF, OPTICAL_IO)
+    assert point.feasible
+    assert point.mapping is not None
+    assert point.power.total_w > 0
+    assert point.power_density_w_per_mm2 > 0
+
+
+def test_power_density_cooling_constraint(small_clos):
+    from repro.tech.cooling import CoolingSolution
+
+    strict = CoolingSolution("strict", 0.01)
+    point = evaluate_design(
+        100.0,
+        small_clos,
+        SI_IF,
+        OPTICAL_IO,
+        limits=ConstraintLimits(cooling=strict),
+    )
+    assert not point.feasible
+    assert "power-density" in point.constraints.binding_constraints()
+
+
+def test_describe_mentions_feasibility(small_clos):
+    point = evaluate_design(100.0, small_clos, SI_IF, OPTICAL_IO)
+    assert "feasible" in point.describe()
+
+
+def test_mapping_cache_hits(small_clos):
+    clear_mapping_cache()
+    first = cached_mapping(small_clos, IOStyle.PERIPHERY)
+    second = cached_mapping(small_clos, IOStyle.PERIPHERY)
+    assert first is second
+
+
+def test_mapping_cache_distinguishes_io_style(small_clos):
+    periphery = cached_mapping(small_clos, IOStyle.PERIPHERY)
+    area = cached_mapping(small_clos, IOStyle.AREA)
+    assert periphery is not area
+
+
+def test_invalid_substrate_rejected(small_clos):
+    with pytest.raises(ValueError):
+        evaluate_design(0.0, small_clos, SI_IF, None)

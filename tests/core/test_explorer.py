@@ -1,0 +1,106 @@
+"""Design-space exploration — the paper's headline radix milestones."""
+
+import pytest
+
+from repro.core.explorer import (
+    clos_radix_candidates,
+    ideal_max_ports,
+    max_chiplets_for,
+    max_feasible_design,
+)
+from repro.tech.chiplet import tomahawk5
+from repro.tech.external_io import AREA_IO, OPTICAL_IO, SERDES_IO
+from repro.tech.wsi import SI_IF, SI_IF_OVERDRIVEN
+
+
+def test_max_chiplets_300mm():
+    assert max_chiplets_for(300.0, tomahawk5()) == 112
+
+
+def test_clos_candidates_power_of_two_steps():
+    assert clos_radix_candidates(tomahawk5(), 112) == [256, 512, 1024, 2048, 4096, 8192]
+
+
+def test_clos_candidates_small_budget():
+    assert clos_radix_candidates(tomahawk5(), 5) == [256]
+    assert clos_radix_candidates(tomahawk5(), 2) == []
+
+
+def test_ideal_ports_fig6():
+    """Fig 6: 4x / 16x / 32x a single TH-5 at 100/200/300 mm."""
+    assert ideal_max_ports(100.0) == 1024
+    assert ideal_max_ports(200.0) == 4096
+    assert ideal_max_ports(300.0) == 8192
+
+
+def test_ideal_ports_higher_bandwidth_configs():
+    from repro.tech.chiplet import TH5_CONFIGURATIONS
+
+    assert ideal_max_ports(200.0, ssc=TH5_CONFIGURATIONS[64]) == 1024
+
+
+def test_serdes_limits_fig7():
+    """Fig 7: SerDes caps at 256/512 ports (100/200 mm)."""
+    d100 = max_feasible_design(100.0, wsi=SI_IF, external_io=SERDES_IO)
+    d200 = max_feasible_design(200.0, wsi=SI_IF, external_io=SERDES_IO)
+    assert d100.n_ports == 256
+    assert d200.n_ports == 512
+
+
+def test_optical_3200_internal_bound_fig7():
+    """Fig 7: Optical @3200 reaches 1024 at 100 mm, 2048 at 200 mm."""
+    d100 = max_feasible_design(100.0, wsi=SI_IF, external_io=OPTICAL_IO)
+    d200 = max_feasible_design(200.0, wsi=SI_IF, external_io=OPTICAL_IO)
+    assert d100.n_ports == 1024
+    assert d200.n_ports == 2048
+
+
+def test_optical_6400_fig9():
+    """Fig 9: doubling internal bandwidth doubles the 200 mm radix."""
+    d200 = max_feasible_design(
+        200.0, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO
+    )
+    assert d200.n_ports == 4096  # equals the area-limited ideal
+
+
+def test_area_io_external_bound():
+    """Fig 7/9: Area I/O is externally bound at 1024 (200 mm) either way."""
+    at_3200 = max_feasible_design(200.0, wsi=SI_IF, external_io=AREA_IO)
+    at_6400 = max_feasible_design(
+        200.0, wsi=SI_IF_OVERDRIVEN, external_io=AREA_IO
+    )
+    assert at_3200.n_ports == 1024
+    assert at_6400.n_ports == 1024
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError, match="unknown topology family"):
+        max_feasible_design(200.0, family="torus")
+
+
+def test_all_families_produce_ideal_designs():
+    from repro.core.constraints import AREA_ONLY
+
+    for family in ("clos", "mesh", "butterfly", "dragonfly", "flattened-butterfly"):
+        design = max_feasible_design(
+            200.0, external_io=None, limits=AREA_ONLY, family=family
+        )
+        assert design is not None, family
+        assert design.n_ports > 0
+
+
+def test_mesh_ideal_exceeds_clos_ideal():
+    """Section VII: mesh lays out natively and beats Clos's ideal radix."""
+    from repro.core.constraints import AREA_ONLY
+
+    mesh = max_feasible_design(200.0, external_io=None, limits=AREA_ONLY, family="mesh")
+    assert mesh.n_ports > ideal_max_ports(200.0)
+
+
+def test_direct_topologies_trail_clos_when_constrained():
+    """Section VII: flattened butterfly trails Clos once constrained."""
+    clos = max_feasible_design(200.0, wsi=SI_IF, external_io=OPTICAL_IO)
+    fb = max_feasible_design(
+        200.0, wsi=SI_IF, external_io=OPTICAL_IO, family="flattened-butterfly"
+    )
+    assert fb.n_ports < clos.n_ports

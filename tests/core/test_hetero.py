@@ -1,0 +1,71 @@
+"""Heterogeneous switch optimization (Section V.B, Fig 16)."""
+
+import pytest
+
+from repro.core.design import evaluate_design
+from repro.core.explorer import max_feasible_design
+from repro.core.hetero import apply_heterogeneity, leaf_core_power_w
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF, SI_IF_OVERDRIVEN
+from repro.topology.clos import folded_clos
+
+
+@pytest.fixture(scope="module")
+def design_200mm():
+    return max_feasible_design(
+        200.0, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO, mapping_restarts=1
+    )
+
+
+def test_radix_preserved(design_200mm):
+    hetero = apply_heterogeneity(design_200mm, leaf_split=4)
+    assert hetero.base.n_ports == design_200mm.n_ports
+
+
+def test_power_reduction_in_paper_band(design_200mm):
+    """Paper: 30.8 %-33.5 % total reduction with quarter-capacity leaves."""
+    hetero = apply_heterogeneity(design_200mm, leaf_split=4)
+    assert 0.25 <= hetero.power_reduction_fraction <= 0.40
+
+
+def test_io_power_unchanged(design_200mm):
+    """Heterogeneity only reduces SSC core power (paper, Section V.B)."""
+    hetero = apply_heterogeneity(design_200mm, leaf_split=4)
+    assert hetero.power.internal_io_w == design_200mm.power.internal_io_w
+    assert hetero.power.external_io_w == design_200mm.power.external_io_w
+
+
+def test_split2_saves_less_than_split4(design_200mm):
+    half = apply_heterogeneity(design_200mm, leaf_split=2)
+    quarter = apply_heterogeneity(design_200mm, leaf_split=4)
+    assert quarter.power.total_w < half.power.total_w < design_200mm.power.total_w
+
+
+def test_density_drops_into_water_envelope(design_200mm):
+    """Fig 16: the optimized design fits water cooling."""
+    hetero = apply_heterogeneity(design_200mm, leaf_split=4)
+    assert design_200mm.power_density_w_per_mm2 > 0.5
+    assert hetero.power_density_w_per_mm2 <= 0.5
+    assert hetero.cooling.name == "Water"
+
+
+def test_leaf_core_power(design_200mm):
+    leaf_power = leaf_core_power_w(design_200mm)
+    total_core = design_200mm.power.ssc_core_w
+    assert leaf_power == pytest.approx(total_core * 2.0 / 3.0)
+
+
+def test_hop_latency_overhead_documented(design_200mm):
+    hetero = apply_heterogeneity(design_200mm)
+    assert hetero.hop_latency_overhead == pytest.approx(0.01)
+
+
+def test_rejects_non_clos_design():
+    from repro.core.constraints import AREA_ONLY
+    from repro.topology.mesh import direct_mesh
+
+    mesh_design = evaluate_design(
+        200.0, direct_mesh(4, 4), SI_IF, OPTICAL_IO, limits=AREA_ONLY
+    )
+    with pytest.raises(ValueError, match="leaf and spine roles"):
+        apply_heterogeneity(mesh_design)

@@ -1,0 +1,61 @@
+"""On-wafer latency statistics (Section III.C)."""
+
+import pytest
+
+from repro.core.design import cached_mapping
+from repro.core.latency import (
+    disaggregation_hop_overhead,
+    latency_report,
+    switch_network_traversal_ns,
+)
+from repro.mapping.routing import IOStyle
+from repro.topology.clos import folded_clos
+
+
+@pytest.fixture(scope="module")
+def mapping_2048():
+    return cached_mapping(folded_clos(2048), IOStyle.PERIPHERY)
+
+
+def test_report_fields_consistent(mapping_2048):
+    report = latency_report(mapping_2048)
+    assert report.max_link_hops >= report.mean_link_hops > 0
+    assert report.max_link_latency_ns == report.max_link_hops * 1.0
+
+
+def test_worst_case_bound_holds(mapping_2048):
+    """Section III.C: worst-case latency <= 2N ns on an NxN array."""
+    report = latency_report(mapping_2048)
+    assert report.max_link_hops <= report.worst_case_bound_hops
+
+
+def test_traversal_is_two_link_hops(mapping_2048):
+    report = latency_report(mapping_2048)
+    assert report.mean_switch_traversal_hops == pytest.approx(
+        2.0 * report.mean_link_hops, rel=0.05
+    )
+
+
+def test_on_wafer_traversal_beats_discrete_network(mapping_2048):
+    """Table V: on-wafer traversal is far faster than PCB-linked boxes."""
+    report = latency_report(mapping_2048)
+    assert report.mean_switch_traversal_ns < switch_network_traversal_ns() / 10
+
+
+def test_disaggregation_overhead_about_one_percent(mapping_2048):
+    """Section V.B: disaggregation adds ~1% average hop latency."""
+    overhead = disaggregation_hop_overhead(mapping_2048)
+    assert 0.002 < overhead < 0.1
+
+
+def test_custom_hop_latency_scales(mapping_2048):
+    slow = latency_report(mapping_2048, hop_latency_ns=2.0)
+    fast = latency_report(mapping_2048, hop_latency_ns=1.0)
+    assert slow.max_link_latency_ns == pytest.approx(
+        2.0 * fast.max_link_latency_ns
+    )
+
+
+def test_switch_network_traversal_value():
+    # 2 levels x 2 links x 150 ns midpoint = 600 ns
+    assert switch_network_traversal_ns() == pytest.approx(600.0)

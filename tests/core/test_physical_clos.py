@@ -1,0 +1,59 @@
+"""Physical Clos vs mapped Clos (Fig 26)."""
+
+import pytest
+
+from repro.core.explorer import max_feasible_design
+from repro.core.physical_clos import (
+    evaluate_physical_clos,
+    max_physical_clos_ports,
+    wiring_area_mm2,
+)
+from repro.tech.chiplet import tomahawk5
+from repro.tech.external_io import OPTICAL_IO
+from repro.tech.wsi import SI_IF
+
+
+def test_wiring_area_scales_with_hops():
+    one = wiring_area_mm2(1000, 200.0, SI_IF, tomahawk5().side_mm)
+    two = wiring_area_mm2(2000, 200.0, SI_IF, tomahawk5().side_mm)
+    assert two == pytest.approx(2 * one)
+
+
+def test_wiring_area_shrinks_with_density():
+    dense = SI_IF.overdriven(4.0)
+    assert wiring_area_mm2(1000, 200.0, dense, 28.0) < wiring_area_mm2(
+        1000, 200.0, SI_IF, 28.0
+    )
+
+
+def test_physical_clos_feasibility_small():
+    result = evaluate_physical_clos(200.0, 1024, SI_IF, OPTICAL_IO)
+    assert result.feasible
+    assert result.wiring_area_mm2 > 0
+
+
+def test_physical_clos_lower_radix_than_mapped():
+    """Fig 26: physical Clos always trails the mapped Clos."""
+    mapped = max_feasible_design(
+        200.0, wsi=SI_IF, external_io=OPTICAL_IO, mapping_restarts=1
+    )
+    physical = max_physical_clos_ports(200.0, SI_IF, OPTICAL_IO)
+    assert physical < mapped.n_ports
+
+
+def test_physical_clos_power_overhead_positive():
+    """Fig 26c: ~10% power overhead at iso-radix."""
+    from repro.core.design import evaluate_design
+    from repro.topology.clos import folded_clos
+
+    physical = evaluate_physical_clos(200.0, 1024, SI_IF, OPTICAL_IO)
+    mapped = evaluate_design(
+        200.0, folded_clos(1024), SI_IF, OPTICAL_IO, mapping_restarts=1
+    )
+    overhead = physical.power.total_w / mapped.power.total_w - 1.0
+    assert 0.02 < overhead < 0.35
+
+
+def test_infeasible_when_wiring_exceeds_substrate():
+    result = evaluate_physical_clos(100.0, 2048, SI_IF, OPTICAL_IO)
+    assert not result.feasible

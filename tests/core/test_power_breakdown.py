@@ -1,0 +1,68 @@
+"""Power accounting (Figs 10, 11, 13)."""
+
+import pytest
+
+from repro.core.design import cached_mapping
+from repro.core.power_breakdown import (
+    PowerBreakdown,
+    external_io_power_w,
+    internal_io_power_w,
+    power_breakdown,
+)
+from repro.mapping.routing import IOStyle
+from repro.tech.external_io import OPTICAL_IO, SERDES_IO
+from repro.tech.wsi import SI_IF
+from repro.topology.clos import folded_clos
+
+
+def test_breakdown_total():
+    breakdown = PowerBreakdown(100.0, 20.0, 30.0)
+    assert breakdown.total_w == 150.0
+    assert breakdown.io_fraction == pytest.approx(1.0 / 3.0)
+
+
+def test_scaled_core_keeps_io():
+    breakdown = PowerBreakdown(100.0, 20.0, 30.0).scaled_core(50.0)
+    assert breakdown.total_w == 100.0
+    assert breakdown.internal_io_w == 20.0
+
+
+def test_internal_io_power_formula():
+    # 1000 channel-hops x 200G x 0.3 pJ/bit, both directions.
+    expected = 2 * 1000 * 200.0 * 0.3 / 1000.0
+    assert internal_io_power_w(1000, 200.0, SI_IF) == pytest.approx(expected)
+
+
+def test_external_io_power_formula():
+    # 1024 ports x 200G x 5 pJ/bit = 1.024 kW
+    assert external_io_power_w(1024, 200.0, OPTICAL_IO) == pytest.approx(1024.0)
+
+
+def test_external_io_none_is_zero():
+    assert external_io_power_w(1024, 200.0, None) == 0.0
+
+
+def test_serdes_costs_more_per_bit_than_optical():
+    assert external_io_power_w(512, 200.0, SERDES_IO) > external_io_power_w(
+        512, 200.0, OPTICAL_IO
+    )
+
+
+def test_breakdown_core_sums_chiplets(small_clos):
+    breakdown = power_breakdown(small_clos, None, SI_IF, OPTICAL_IO)
+    assert breakdown.ssc_core_w == pytest.approx(12 * 400.0)
+
+
+def test_breakdown_with_mapping_uses_hops(small_clos):
+    mapping = cached_mapping(small_clos, IOStyle.PERIPHERY)
+    with_mapping = power_breakdown(small_clos, mapping, SI_IF, OPTICAL_IO)
+    without = power_breakdown(small_clos, None, SI_IF, OPTICAL_IO)
+    # Mapped hops exceed the 1-hop lower bound used without a mapping.
+    assert with_mapping.internal_io_w > without.internal_io_w
+
+
+def test_density(small_clos):
+    breakdown = power_breakdown(small_clos, None, SI_IF, OPTICAL_IO)
+    assert breakdown.density_w_per_mm2(10000.0) == pytest.approx(
+        breakdown.total_w / 10000.0
+    )

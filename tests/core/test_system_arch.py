@@ -1,0 +1,90 @@
+"""System architecture sizing (Section VIII.A, Figs 29-30)."""
+
+import pytest
+
+from repro.core.system_arch import (
+    design_system_architecture,
+    reference_200mm_architecture,
+    reference_300mm_architecture,
+)
+
+
+@pytest.fixture(scope="module")
+def arch300():
+    return reference_300mm_architecture()
+
+
+@pytest.fixture(scope="module")
+def arch200():
+    return reference_200mm_architecture()
+
+
+def test_total_ru_300mm_is_20(arch300):
+    """Paper: the 300 mm system fits in 20RU (19 front panel + 1 mgmt)."""
+    assert arch300.front_panel_ru == 19
+    assert arch300.total_ru == 20
+
+
+def test_total_ru_200mm_is_11(arch200):
+    assert arch200.total_ru == 11
+
+
+def test_psu_count_25(arch300):
+    """Paper: 25 x 4 kW PSUs provide 50 kW + 50 kW with N+N redundancy."""
+    assert arch300.psu_count == 25
+
+
+def test_dcdc_count_50(arch300):
+    assert arch300.dcdc_count == 50
+
+
+def test_vrm_count_near_paper(arch300):
+    """Paper: ~420 VRMs including 10% redundancy."""
+    assert 380 <= arch300.vrm_count <= 500
+
+
+def test_backside_components_fit(arch300):
+    assert arch300.backside_component_area_mm2 < 300.0 * 300.0
+
+
+def test_pcl_count_36(arch300):
+    """Paper: 36 passive cold plates cover the 12x12 chiplet array."""
+    assert arch300.pcl_count == 36
+
+
+def test_supply_channels_12(arch300):
+    """Paper: 12 coolant supply channels (3 PCLs per channel)."""
+    assert arch300.supply_channel_count == 12
+
+
+def test_adapter_count_matches_front_panel(arch300):
+    # 8192 x 200G = 1638.4 Tbps over 800G adapters = 2048 adapters.
+    assert arch300.adapter_count == 2048
+    assert arch300.adapter_count <= arch300.front_panel_ru * 108
+
+
+def test_power_per_port_6_1w(arch300):
+    """Table III: ~6.1 W per port."""
+    assert arch300.power_per_port_w == pytest.approx(6.1, abs=0.1)
+
+
+def test_capacity_density_81_9(arch300):
+    assert arch300.capacity_density_tbps_per_ru == pytest.approx(81.9, abs=0.1)
+
+
+def test_cooling_capacity_enforced():
+    # A 4x4 chiplet array has only 4 PCLs (6.4 kW); 10 kW must fail.
+    with pytest.raises(ValueError, match="cooling loops"):
+        design_system_architecture(300.0, 1024, 200.0, 10000.0, chiplet_array_side=4)
+
+
+def test_invalid_ports_rejected():
+    with pytest.raises(ValueError):
+        design_system_architecture(300.0, 0, 200.0, 45000.0)
+
+
+def test_800g_config_uses_splitters(arch300):
+    """2048 x 800G config has the same front panel (Section VIII.A)."""
+    arch = design_system_architecture(300.0, 2048, 800.0, 45000.0)
+    assert arch.adapter_count == arch300.adapter_count
+    assert arch.total_ru == arch300.total_ru

@@ -1,0 +1,108 @@
+"""Use-case accounting (Tables III, VI, VII, VIII, IX)."""
+
+import pytest
+
+from repro.core.use_cases import (
+    MODULAR_ROUTERS,
+    clos_network_of_boxes,
+    datacenter_comparison,
+    dcn_comparison,
+    gpu_cluster_comparison,
+    microarchitecture_chiplet_counts,
+    waferscale_router_row,
+)
+
+
+def test_single_box_when_endpoints_fit():
+    net = clos_network_of_boxes(200, 256, 200.0)
+    assert net.levels == 1
+    assert net.switch_count == 1
+    assert net.worst_case_hops == 1
+
+
+def test_two_level_clos_for_8192_on_th5():
+    """Table VII: 8192 servers need 96 TH-5 boxes at 2 levels."""
+    net = clos_network_of_boxes(8192, 256, 200.0)
+    assert net.levels == 2
+    assert net.switch_count == 96
+    assert net.cable_count == 16384
+    assert net.worst_case_hops == 3
+    assert net.rack_units == 192
+
+
+def test_three_level_clos_for_dcn():
+    net = clos_network_of_boxes(32768, 64, 800.0)
+    assert net.levels == 3
+    assert net.worst_case_hops == 5
+
+
+def test_bisection_half_endpoints():
+    net = clos_network_of_boxes(8192, 256, 200.0)
+    assert net.bisection_bandwidth_gbps == pytest.approx(8192 / 2 * 200.0)
+
+
+def test_chiplet_counts_table6():
+    counts = microarchitecture_chiplet_counts(8192, 256)
+    assert counts == {
+        "clos": 96,
+        "hierarchical-crossbar": 1024,
+        "modular-crossbar": 1024,
+    }
+
+
+def test_chiplet_counts_2048():
+    counts = microarchitecture_chiplet_counts(2048, 256)
+    assert counts["clos"] == 24
+    assert counts["hierarchical-crossbar"] == 64
+
+
+def test_datacenter_comparison_matches_table7():
+    comparison = datacenter_comparison(servers=8192)
+    assert comparison.ws_switches == 1
+    assert comparison.baseline_switches == 96
+    assert comparison.ws_cables == 8192
+    assert comparison.baseline_cables == 16384
+    assert comparison.ws_hops == 1
+    assert comparison.baseline_hops == 3
+    assert comparison.cable_reduction == pytest.approx(0.5)
+    assert comparison.rack_space_reduction > 0.89  # paper: ~90 %
+
+
+def test_gpu_cluster_matches_table8():
+    comparison = gpu_cluster_comparison(gpus=2048)
+    assert comparison.ws_switches == 1
+    assert comparison.baseline_switches == 132
+    assert comparison.bisection_bandwidth_gbps == pytest.approx(819200.0)
+
+
+def test_dcn_matches_table9_ws_side():
+    """Table IX: 48 WS spines, 65536 cables, 3 hops, 960 RU."""
+    comparison = dcn_comparison(racks=16384)
+    assert comparison.ws_switches == 48
+    assert comparison.ws_cables == 65536
+    assert comparison.ws_hops == 3
+    assert comparison.ws_rack_units == 960
+
+
+def test_dcn_baseline_much_larger():
+    comparison = dcn_comparison(racks=16384)
+    assert comparison.baseline_switches > 40 * comparison.ws_switches
+    assert comparison.baseline_hops == 5
+    assert comparison.cable_reduction > 0.3
+
+
+def test_modular_router_power_per_port():
+    """Table III: commercial routers burn ~19-23 W per port."""
+    for router in MODULAR_ROUTERS:
+        assert 18.0 < router.power_per_port_w < 24.0
+
+
+def test_ws_row_capacity_density():
+    row = waferscale_router_row(300, 8192, 50000.0, 20)
+    assert row.capacity_density_tbps_per_ru == pytest.approx(81.92, abs=0.01)
+    assert row.power_per_port_w == pytest.approx(6.1, abs=0.01)
+
+
+def test_clos_network_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        clos_network_of_boxes(0, 256, 200.0)

@@ -1,0 +1,38 @@
+"""Every experiment runs in fast mode and produces sane tables."""
+
+import pytest
+
+from repro.experiments.base import EXPERIMENT_IDS, get_experiment
+
+#: Simulation-backed experiments are slower; still run, but marked so a
+#: quick `-m "not slow"` pass can skip them.
+SIM_EXPERIMENTS = {"fig21", "fig22", "fig23", "fig24"}
+
+
+@pytest.mark.parametrize("experiment_id", [e for e in EXPERIMENT_IDS if e not in SIM_EXPERIMENTS])
+def test_analytical_experiment_runs(experiment_id):
+    result = get_experiment(experiment_id)(fast=True)
+    assert result.experiment_id == experiment_id
+    assert result.rows, experiment_id
+    assert len(result.headers) == len(result.rows[0])
+    table = result.format_table()
+    assert experiment_id in table
+
+
+@pytest.mark.parametrize("experiment_id", sorted(SIM_EXPERIMENTS))
+def test_simulation_experiment_runs(experiment_id):
+    result = get_experiment(experiment_id)(fast=True)
+    assert result.rows, experiment_id
+    assert result.notes
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError):
+        get_experiment("fig99")
+
+
+def test_runner_executes_subset():
+    from repro.experiments.runner import run_experiments
+
+    results = run_experiments(["tab06", "fig01"], fast=True)
+    assert [r.experiment_id for r in results] == ["tab06", "fig01"]

@@ -1,0 +1,94 @@
+"""Integration tests for the paper's headline quantitative claims.
+
+Each test states the paper's number and asserts our model reproduces it
+(or its shape). These are the "did we actually reproduce the paper"
+tests; EXPERIMENTS.md records the same comparisons narratively.
+"""
+
+import pytest
+
+from repro.core.explorer import ideal_max_ports, max_feasible_design
+from repro.core.hetero import apply_heterogeneity
+from repro.tech.external_io import AREA_IO, OPTICAL_IO, SERDES_IO
+from repro.tech.wsi import INFO_SOW, SI_IF, SI_IF_OVERDRIVEN
+
+
+def test_abstract_32x_area_only_radix():
+    """Abstract: 'up to 32x higher radix ... when only area constraints
+    are considered' (8192 vs 256 at 300 mm)."""
+    assert ideal_max_ports(300.0) == 32 * 256
+
+
+def test_abstract_4x_radix_from_higher_internal_bandwidth():
+    """Abstract/Fig 9: doubling internal I/O bandwidth raises the 300 mm
+    radix 4x (2048 -> 8192)."""
+    at_3200 = max_feasible_design(300.0, wsi=SI_IF, external_io=OPTICAL_IO)
+    at_6400 = max_feasible_design(
+        300.0, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO
+    )
+    assert at_3200.n_ports == 2048
+    assert at_6400.n_ports == 8192
+
+
+def test_serdes_only_doubles_ports():
+    """Fig 7: periphery SerDes reaches only 512 ports even at 300 mm."""
+    design = max_feasible_design(300.0, wsi=SI_IF, external_io=SERDES_IO)
+    assert design.n_ports == 512
+
+
+def test_optical_and_area_io_up_to_4x_serdes():
+    serdes = max_feasible_design(300.0, wsi=SI_IF, external_io=SERDES_IO)
+    optical = max_feasible_design(300.0, wsi=SI_IF, external_io=OPTICAL_IO)
+    area = max_feasible_design(300.0, wsi=SI_IF, external_io=AREA_IO)
+    assert optical.n_ports == 4 * serdes.n_ports
+    assert area.n_ports == 4 * serdes.n_ports
+
+
+def test_62kw_at_8192_ports():
+    """Fig 11: the 8192-port switch draws ~62 kW with a 33-43.8% I/O share."""
+    design = max_feasible_design(
+        300.0, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO
+    )
+    assert design.power.total_w == pytest.approx(62000.0, rel=0.08)
+    assert 0.33 <= design.power.io_fraction <= 0.438
+
+
+def test_power_density_069_to_048():
+    """Fig 16: heterogeneity drops 300 mm density from ~0.69 to ~0.48
+    W/mm2, into the water-cooling envelope."""
+    design = max_feasible_design(
+        300.0, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO
+    )
+    hetero = apply_heterogeneity(design, leaf_split=4)
+    assert design.power_density_w_per_mm2 == pytest.approx(0.69, abs=0.05)
+    assert hetero.power_density_w_per_mm2 == pytest.approx(0.48, abs=0.05)
+    assert hetero.cooling.name == "Water"
+
+
+def test_hetero_reduction_30_8_to_33_5():
+    """Abstract: heterogeneous design reduces power by 30.8%-33.5%."""
+    reductions = []
+    for side in (200.0, 300.0):
+        design = max_feasible_design(
+            side, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO
+        )
+        hetero = apply_heterogeneity(design, leaf_split=4)
+        reductions.append(hetero.power_reduction_fraction)
+    assert min(reductions) == pytest.approx(0.308, abs=0.03)
+    assert max(reductions) == pytest.approx(0.335, abs=0.03)
+
+
+def test_deradixing_doubles_radix_at_300mm():
+    """Abstract/Fig 17: deradixing increases overall radix by 2x."""
+    from repro.core.deradix import deradix_sweep
+
+    sweep = deradix_sweep(300.0, wsi=SI_IF, external_io=OPTICAL_IO)
+    assert sweep[2].max_ports == 2 * sweep[1].max_ports
+
+
+def test_info_sow_same_ports_higher_power():
+    """Figs 12-13: InFO-SoW matches 6400 Si-IF ports but burns more."""
+    si = max_feasible_design(300.0, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO)
+    info = max_feasible_design(300.0, wsi=INFO_SOW, external_io=OPTICAL_IO)
+    assert info.n_ports == si.n_ports
+    assert info.power.total_w > si.power.total_w

@@ -1,0 +1,90 @@
+"""Pairwise exchange optimization (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.mapping.exchange import optimize_mapping, pairwise_exchange
+from repro.mapping.grid import grid_for
+from repro.mapping.placement import initial_placement
+from repro.mapping.routing import IOStyle, compute_edge_loads
+from repro.topology.clos import folded_clos
+
+
+@pytest.fixture(scope="module")
+def clos_1024():
+    return folded_clos(1024)
+
+
+def test_exchange_never_worse_than_start(clos_1024):
+    start = initial_placement(
+        clos_1024, strategy="random", rng=random.Random(11)
+    )
+    before = compute_edge_loads(start, IOStyle.PERIPHERY).max_edge_channels
+    result = pairwise_exchange(start, IOStyle.PERIPHERY)
+    assert result.max_edge_channels <= before
+
+
+def test_exchange_beats_random_substantially(clos_1024):
+    """Fig 5: optimized mapping has far lower worst-edge load."""
+    start = initial_placement(
+        clos_1024, strategy="random", rng=random.Random(5)
+    )
+    before = compute_edge_loads(start, IOStyle.PERIPHERY).max_edge_channels
+    result = pairwise_exchange(start, IOStyle.PERIPHERY)
+    assert result.max_edge_channels <= before * 0.8
+
+
+def test_incremental_loads_match_full_recompute(clos_1024):
+    """The optimizer's incremental accounting must equal a fresh pass."""
+    result = optimize_mapping(clos_1024, restarts=1)
+    fresh = compute_edge_loads(result.placement, IOStyle.PERIPHERY)
+    assert fresh.max_edge_channels == result.max_edge_channels
+    assert fresh.total_channel_hops == result.total_channel_hops
+    result.loads.assert_non_negative()
+
+
+def test_incremental_loads_match_for_area_io(clos_1024):
+    result = optimize_mapping(clos_1024, io_style=IOStyle.AREA, restarts=1)
+    fresh = compute_edge_loads(result.placement, IOStyle.AREA)
+    assert fresh.total_channel_hops == result.total_channel_hops
+
+
+def test_optimize_deterministic_given_seed(clos_1024):
+    r1 = optimize_mapping(clos_1024, restarts=2, seed=9)
+    r2 = optimize_mapping(clos_1024, restarts=2, seed=9)
+    assert r1.cost() == r2.cost()
+    assert r1.placement.site_of == r2.placement.site_of
+
+
+def test_more_restarts_never_hurt(clos_1024):
+    r1 = optimize_mapping(clos_1024, restarts=1, seed=0)
+    r2 = optimize_mapping(clos_1024, restarts=3, seed=0)
+    assert r2.cost() <= r1.cost()
+
+
+def test_paper_milestone_2048_feasible_at_3200():
+    """Fig 19: 2048-port Clos meets 200G/port at 3200 Gbps/mm."""
+    from repro.mapping.routing import available_bandwidth_per_port_gbps
+    from repro.tech.chiplet import tomahawk5
+    from repro.tech.wsi import SI_IF
+
+    topo = folded_clos(2048)
+    result = optimize_mapping(topo, restarts=2)
+    available = available_bandwidth_per_port_gbps(
+        result.loads,
+        SI_IF.edge_capacity_gbps(tomahawk5().side_mm),
+        200.0,
+    )
+    assert available >= 200.0
+
+
+def test_grid_too_small_raises(clos_1024):
+    with pytest.raises(ValueError):
+        optimize_mapping(clos_1024, grid=grid_for(4))
+
+
+def test_mapping_result_reports_sweeps(clos_1024):
+    result = optimize_mapping(clos_1024, restarts=1)
+    assert result.sweeps >= 1
+    assert result.swaps_accepted >= 0

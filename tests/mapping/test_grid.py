@@ -1,0 +1,83 @@
+"""Wafer grid geometry."""
+
+import pytest
+
+from repro.mapping.grid import WaferGrid, grid_for
+
+
+def test_sites_count():
+    assert WaferGrid(3, 4).sites == 12
+
+
+def test_edge_counts():
+    grid = WaferGrid(3, 4)
+    assert grid.horizontal_edges == 3 * 3
+    assert grid.vertical_edges == 2 * 4
+    assert grid.edge_count == 17
+
+
+def test_position_roundtrip():
+    grid = WaferGrid(5, 7)
+    for site in range(grid.sites):
+        r, c = grid.position(site)
+        assert grid.site(r, c) == site
+
+
+def test_position_out_of_range():
+    with pytest.raises(ValueError):
+        WaferGrid(2, 2).position(4)
+
+
+def test_manhattan_distance():
+    grid = WaferGrid(5, 5)
+    assert grid.manhattan(grid.site(0, 0), grid.site(3, 4)) == 7
+    assert grid.manhattan(grid.site(2, 2), grid.site(2, 2)) == 0
+
+
+def test_boundary_distance():
+    grid = WaferGrid(5, 5)
+    assert grid.boundary_distance(grid.site(0, 0)) == 0
+    assert grid.boundary_distance(grid.site(2, 2)) == 2
+    assert grid.boundary_distance(grid.site(1, 3)) == 1
+
+
+def test_boundary_sites_ring():
+    grid = WaferGrid(4, 4)
+    assert len(grid.boundary_sites()) == 12  # 16 - 4 interior
+
+
+def test_neighbors_interior():
+    grid = WaferGrid(3, 3)
+    assert sorted(grid.neighbors(grid.site(1, 1))) == [1, 3, 5, 7]
+
+
+def test_neighbors_corner():
+    grid = WaferGrid(3, 3)
+    assert sorted(grid.neighbors(0)) == [1, 3]
+
+
+def test_sites_by_centrality_boundary_first():
+    grid = WaferGrid(5, 5)
+    ordered = grid.sites_by_centrality()
+    distances = [grid.boundary_distance(s) for s in ordered]
+    assert distances == sorted(distances)
+
+
+def test_grid_for_near_square():
+    grid = grid_for(24)
+    assert grid.sites >= 24
+    assert abs(grid.rows - grid.cols) <= 1
+
+
+def test_grid_for_exact_square():
+    grid = grid_for(25)
+    assert (grid.rows, grid.cols) == (5, 5)
+
+
+def test_grid_for_single():
+    assert grid_for(1).sites == 1
+
+
+def test_grid_for_rejects_zero():
+    with pytest.raises(ValueError):
+        grid_for(0)

@@ -1,0 +1,83 @@
+"""Property-based tests for routing/mapping (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.grid import WaferGrid
+from repro.mapping.placement import initial_placement
+from repro.mapping.routing import (
+    IOStyle,
+    boundary_path_edges,
+    compute_edge_loads,
+    xy_path_edges,
+)
+from repro.topology.clos import folded_clos
+
+grids = st.tuples(
+    st.integers(min_value=2, max_value=9), st.integers(min_value=2, max_value=9)
+).map(lambda rc: WaferGrid(*rc))
+
+
+@given(grids, st.data())
+@settings(max_examples=40, deadline=None)
+def test_xy_path_connects_endpoints(grid, data):
+    """Walking the XY edges from src must land exactly on dst."""
+    src = data.draw(st.integers(min_value=0, max_value=grid.sites - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=grid.sites - 1))
+    r, c = grid.position(src)
+    for kind, er, ec in xy_path_edges(grid, src, dst):
+        if kind == "h":
+            assert er == r and ec in (c - 1, c)
+            c = ec + 1 if ec == c else ec
+        else:
+            assert ec == c and er in (r - 1, r)
+            r = er + 1 if er == r else er
+    assert (r, c) == grid.position(dst)
+
+
+@given(grids, st.data())
+@settings(max_examples=40, deadline=None)
+def test_boundary_path_reaches_site(grid, data):
+    site = data.draw(st.integers(min_value=0, max_value=grid.sites - 1))
+    edges = list(boundary_path_edges(grid, site))
+    assert len(edges) == grid.boundary_distance(site)
+    if edges:
+        # The final edge must touch the site itself.
+        kind, er, ec = edges[-1]
+        r, c = grid.position(site)
+        if kind == "v":
+            assert ec == c and er in (r - 1, r)
+        else:
+            assert er == r and ec in (c - 1, c)
+
+
+@given(
+    st.sampled_from([512, 1024, 1536]),
+    st.integers(min_value=0, max_value=100),
+    st.sampled_from(list(IOStyle)),
+)
+@settings(max_examples=15, deadline=None)
+def test_edge_loads_non_negative_and_conserved(n_ports, seed, io_style):
+    topo = folded_clos(n_ports)
+    placement = initial_placement(
+        topo, strategy="random", rng=random.Random(seed)
+    )
+    loads = compute_edge_loads(placement, io_style)
+    loads.assert_non_negative()
+    link_hops = sum(
+        link.channels
+        * placement.grid.manhattan(
+            placement.site_of[link.a], placement.site_of[link.b]
+        )
+        for link in topo.links
+    )
+    if io_style is IOStyle.PERIPHERY:
+        external_hops = sum(
+            node.external_ports
+            * placement.grid.boundary_distance(placement.site_of[node.index])
+            for node in topo.nodes
+        )
+    else:
+        external_hops = 0
+    assert loads.total_channel_hops == link_hops + external_hops

@@ -1,0 +1,89 @@
+"""Placement construction and swapping."""
+
+import random
+
+import pytest
+
+from repro.mapping.grid import WaferGrid
+from repro.mapping.placement import EMPTY, Placement, initial_placement
+from repro.topology.clos import folded_clos
+
+
+def test_from_assignment_roundtrip(small_clos):
+    grid = WaferGrid(4, 3)
+    placement = Placement.from_assignment(
+        grid, small_clos, list(range(small_clos.chiplet_count))
+    )
+    for node in range(small_clos.chiplet_count):
+        assert placement.node_at[placement.site_of[node]] == node
+
+
+def test_from_assignment_rejects_duplicates(small_clos):
+    grid = WaferGrid(4, 3)
+    sites = [0] * small_clos.chiplet_count
+    with pytest.raises(ValueError):
+        Placement.from_assignment(grid, small_clos, sites)
+
+
+def test_from_assignment_rejects_wrong_length(small_clos):
+    grid = WaferGrid(4, 3)
+    with pytest.raises(ValueError):
+        Placement.from_assignment(grid, small_clos, [0, 1])
+
+
+def test_swap_occupied_sites(small_clos):
+    placement = initial_placement(small_clos)
+    site_a, site_b = placement.site_of[0], placement.site_of[1]
+    placement.swap_sites(site_a, site_b)
+    assert placement.site_of[0] == site_b
+    assert placement.site_of[1] == site_a
+    assert placement.node_at[site_b] == 0
+
+
+def test_swap_with_empty_site():
+    topo = folded_clos(1024)  # 12 chiplets on a 4x3=12... use bigger grid
+    grid = WaferGrid(4, 4)
+    placement = initial_placement(topo, grid)
+    empty_sites = [s for s, n in enumerate(placement.node_at) if n == EMPTY]
+    assert empty_sites
+    old_site = placement.site_of[0]
+    placement.swap_sites(old_site, empty_sites[0])
+    assert placement.site_of[0] == empty_sites[0]
+    assert placement.node_at[old_site] == EMPTY
+
+
+def test_copy_is_independent(small_clos):
+    placement = initial_placement(small_clos)
+    clone = placement.copy()
+    clone.swap_sites(0, 1)
+    assert placement.node_at[0] != clone.node_at[0] or placement.node_at[1] != clone.node_at[1]
+
+
+def test_random_strategy_deterministic_with_seed(small_clos):
+    p1 = initial_placement(small_clos, strategy="random", rng=random.Random(3))
+    p2 = initial_placement(small_clos, strategy="random", rng=random.Random(3))
+    assert p1.site_of == p2.site_of
+
+
+def test_leaves_out_places_leaves_on_boundary(small_clos):
+    placement = initial_placement(small_clos, strategy="leaves_out")
+    grid = placement.grid
+    leaf_distances = [
+        grid.boundary_distance(placement.site_of[n.index])
+        for n in small_clos.leaves()
+    ]
+    spine_distances = [
+        grid.boundary_distance(placement.site_of[n.index])
+        for n in small_clos.spines()
+    ]
+    assert max(leaf_distances) <= max(spine_distances)
+
+
+def test_unknown_strategy_rejected(small_clos):
+    with pytest.raises(ValueError):
+        initial_placement(small_clos, strategy="bogus")
+
+
+def test_grid_too_small_rejected(small_clos):
+    with pytest.raises(ValueError):
+        initial_placement(small_clos, WaferGrid(2, 2))

@@ -1,0 +1,114 @@
+"""XY routing and edge-load accounting."""
+
+import pytest
+
+from repro.mapping.grid import WaferGrid
+from repro.mapping.placement import initial_placement
+from repro.mapping.routing import (
+    EdgeLoads,
+    IOStyle,
+    available_bandwidth_per_port_gbps,
+    boundary_path_edges,
+    compute_edge_loads,
+    xy_path_edges,
+)
+from repro.topology.clos import folded_clos
+
+
+def test_xy_path_length_is_manhattan():
+    grid = WaferGrid(6, 6)
+    for a in (0, 7, 14):
+        for b in (35, 20, 3):
+            edges = list(xy_path_edges(grid, a, b))
+            assert len(edges) == grid.manhattan(a, b)
+
+
+def test_xy_path_same_site_empty():
+    grid = WaferGrid(4, 4)
+    assert list(xy_path_edges(grid, 5, 5)) == []
+
+
+def test_xy_path_horizontal_then_vertical():
+    grid = WaferGrid(4, 4)
+    edges = list(xy_path_edges(grid, grid.site(0, 0), grid.site(2, 2)))
+    kinds = [k for k, _, _ in edges]
+    assert kinds == ["h", "h", "v", "v"]
+
+
+def test_boundary_path_empty_on_boundary():
+    grid = WaferGrid(5, 5)
+    for site in grid.boundary_sites():
+        assert list(boundary_path_edges(grid, site)) == []
+
+
+def test_boundary_path_length_is_boundary_distance():
+    grid = WaferGrid(7, 7)
+    for site in range(grid.sites):
+        edges = list(boundary_path_edges(grid, site))
+        assert len(edges) == grid.boundary_distance(site)
+
+
+def test_edge_loads_add_and_max():
+    grid = WaferGrid(3, 3)
+    loads = EdgeLoads(grid=grid)
+    loads.add_edge(("h", 0, 0), 5)
+    loads.add_edge(("v", 1, 2), 7)
+    assert loads.max_edge_channels == 7
+    assert loads.total_channel_hops == 12
+
+
+def test_compute_edge_loads_conservation(small_clos):
+    """Total channel-hops equals sum over links of channels x distance."""
+    placement = initial_placement(small_clos)
+    loads = compute_edge_loads(placement, IOStyle.NONE)
+    expected = sum(
+        link.channels
+        * placement.grid.manhattan(
+            placement.site_of[link.a], placement.site_of[link.b]
+        )
+        for link in small_clos.links
+    )
+    assert loads.total_channel_hops == expected
+
+
+def test_periphery_adds_external_load(small_clos):
+    placement = initial_placement(small_clos, strategy="random")
+    none_loads = compute_edge_loads(placement, IOStyle.NONE)
+    periphery_loads = compute_edge_loads(placement, IOStyle.PERIPHERY)
+    assert periphery_loads.total_channel_hops >= none_loads.total_channel_hops
+
+
+def test_area_io_equals_none_loads(small_clos):
+    placement = initial_placement(small_clos)
+    area = compute_edge_loads(placement, IOStyle.AREA)
+    none = compute_edge_loads(placement, IOStyle.NONE)
+    assert area.total_channel_hops == none.total_channel_hops
+
+
+def test_available_bandwidth_inverse_of_load():
+    from repro.mapping.routing import USABLE_EDGE_CAPACITY_FRACTION
+
+    grid = WaferGrid(2, 2)
+    loads = EdgeLoads(grid=grid)
+    loads.add_edge(("h", 0, 0), 100)
+    assert available_bandwidth_per_port_gbps(loads, 90000.0, 200.0) == pytest.approx(
+        USABLE_EDGE_CAPACITY_FRACTION * 90000.0 / 100
+    )
+    assert available_bandwidth_per_port_gbps(
+        loads, 90000.0, 200.0, capacity_fraction=0.5
+    ) == pytest.approx(450.0)
+
+
+def test_available_bandwidth_infinite_when_unloaded():
+    loads = EdgeLoads(grid=WaferGrid(2, 2))
+    assert available_bandwidth_per_port_gbps(loads, 90000.0, 200.0) == float("inf")
+
+
+def test_loads_copy_independent():
+    grid = WaferGrid(2, 2)
+    loads = EdgeLoads(grid=grid)
+    loads.add_edge(("h", 0, 0), 1)
+    clone = loads.copy()
+    clone.add_edge(("h", 0, 0), 1)
+    assert loads.max_edge_channels == 1
+    assert clone.max_edge_channels == 2

@@ -1,0 +1,44 @@
+"""ASCII visualization of mappings."""
+
+from repro.core.design import cached_mapping
+from repro.mapping.routing import IOStyle
+from repro.mapping.visualize import describe_mapping, placement_map, utilization_map
+from repro.topology.clos import folded_clos
+
+
+def _mapping():
+    return cached_mapping(folded_clos(1024), IOStyle.PERIPHERY)
+
+
+def test_placement_map_dimensions():
+    mapping = _mapping()
+    lines = placement_map(mapping).splitlines()
+    grid = mapping.placement.grid
+    assert len(lines) == grid.rows
+    assert all(len(line.split()) == grid.cols for line in lines)
+
+
+def test_placement_map_role_counts():
+    mapping = _mapping()
+    rendered = placement_map(mapping)
+    topology = mapping.placement.topology
+    assert rendered.count("L") == len(topology.leaves())
+    assert rendered.count("S") == len(topology.spines())
+
+
+def test_utilization_map_has_legend():
+    rendered = utilization_map(_mapping())
+    assert "shade scale" in rendered
+
+
+def test_utilization_map_peaks_at_full_shade():
+    rendered = utilization_map(_mapping())
+    assert "@" in rendered  # the worst edge renders at full shade
+
+
+def test_describe_mapping_combines_views():
+    mapping = _mapping()
+    described = describe_mapping(mapping)
+    assert "placement" in described
+    assert "edge utilization" in described
+    assert str(mapping.max_edge_channels) in described

@@ -1,0 +1,49 @@
+"""Round-robin arbitration."""
+
+import pytest
+
+from repro.netsim.arbiter import RoundRobinArbiter, rotate_from
+
+
+def test_grants_requesting_index():
+    arb = RoundRobinArbiter(4)
+    assert arb.pick([2]) == 2
+
+
+def test_no_request_no_grant():
+    arb = RoundRobinArbiter(4)
+    assert arb.pick([]) is None
+
+
+def test_round_robin_rotation():
+    arb = RoundRobinArbiter(3)
+    assert arb.pick([0, 1, 2]) == 0
+    assert arb.pick([0, 1, 2]) == 1
+    assert arb.pick([0, 1, 2]) == 2
+    assert arb.pick([0, 1, 2]) == 0
+
+
+def test_fairness_over_many_rounds():
+    arb = RoundRobinArbiter(4)
+    grants = {i: 0 for i in range(4)}
+    for _ in range(400):
+        winner = arb.pick([0, 1, 2, 3])
+        grants[winner] += 1
+    assert all(count == 100 for count in grants.values())
+
+
+def test_skips_non_requesting():
+    arb = RoundRobinArbiter(4)
+    assert arb.pick([3]) == 3
+    assert arb.pick([1, 3]) == 1  # pointer moved past 3
+
+
+def test_rejects_zero_size():
+    with pytest.raises(ValueError):
+        RoundRobinArbiter(0)
+
+
+def test_rotate_from():
+    assert rotate_from([1, 2, 3, 4], 2) == [3, 4, 1, 2]
+    assert rotate_from([], 3) == []
+    assert rotate_from([1, 2], 5) == [2, 1]

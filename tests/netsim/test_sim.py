@@ -1,0 +1,80 @@
+"""Simulation drivers: latency curves and saturation."""
+
+import pytest
+
+from repro.netsim.network import waferscale_clos_network
+from repro.netsim.sim import (
+    Simulator,
+    load_latency_sweep,
+    saturation_throughput,
+)
+from repro.netsim.traffic import make_pattern
+
+
+def _small_network():
+    return waferscale_clos_network(
+        32, 8, num_vcs=2, buffer_flits_per_port=8, io_latency=2
+    )
+
+
+def test_simulator_rejects_mismatched_pattern():
+    with pytest.raises(ValueError):
+        Simulator(_small_network(), make_pattern("uniform", 64), 0.2)
+
+
+def test_run_produces_latencies():
+    sim = Simulator(_small_network(), make_pattern("uniform", 32), 0.1, seed=2)
+    stats = sim.run(warmup_cycles=200, measure_cycles=400)
+    assert stats.packets_delivered > 0
+    assert stats.avg_latency_cycles > 0
+    assert stats.avg_latency_ns == pytest.approx(stats.avg_latency_cycles * 20)
+
+
+def test_accepted_tracks_offered_below_saturation():
+    sim = Simulator(_small_network(), make_pattern("uniform", 32), 0.1, seed=2)
+    stats = sim.run(warmup_cycles=300, measure_cycles=800)
+    assert stats.accepted_load == pytest.approx(0.1, rel=0.3)
+
+
+def test_latency_grows_with_load():
+    results = load_latency_sweep(
+        _small_network,
+        lambda n: make_pattern("uniform", n),
+        loads=[0.05, 0.6],
+        warmup_cycles=200,
+        measure_cycles=600,
+    )
+    assert results[1].avg_latency_cycles > results[0].avg_latency_cycles
+
+
+def test_saturation_throughput_below_unity():
+    throughput = saturation_throughput(
+        _small_network,
+        lambda n: make_pattern("uniform", n),
+        warmup_cycles=200,
+        measure_cycles=600,
+    )
+    assert 0.1 < throughput < 1.0
+
+
+def test_neighbor_traffic_saturates_higher_than_bitcomp():
+    """Local traffic avoids the spine; adversarial traffic does not."""
+    neighbor = saturation_throughput(
+        _small_network,
+        lambda n: make_pattern("neighbor", n),
+        warmup_cycles=200,
+        measure_cycles=600,
+    )
+    bitcomp = saturation_throughput(
+        _small_network,
+        lambda n: make_pattern("bit-complement", n),
+        warmup_cycles=200,
+        measure_cycles=600,
+    )
+    assert neighbor >= bitcomp
+
+
+def test_p99_at_least_average():
+    sim = Simulator(_small_network(), make_pattern("uniform", 32), 0.2, seed=3)
+    stats = sim.run(warmup_cycles=200, measure_cycles=500)
+    assert stats.p99_latency_cycles >= stats.avg_latency_cycles

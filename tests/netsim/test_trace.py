@@ -1,0 +1,108 @@
+"""Trace generation and replay."""
+
+import pytest
+
+from repro.netsim.network import waferscale_clos_network
+from repro.netsim.trace import (
+    TRACE_NAMES,
+    SyntheticTraceSpec,
+    TraceEvent,
+    duplicate_trace,
+    replay_trace,
+    synthetic_nersc_trace,
+)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        TraceEvent(-1, 0, 1, 1)
+    with pytest.raises(ValueError):
+        TraceEvent(0, 2, 2, 1)
+    with pytest.raises(ValueError):
+        TraceEvent(0, 0, 1, 0)
+
+
+def test_all_traces_generate():
+    spec = SyntheticTraceSpec(n_nodes=16, iterations=2)
+    for name in TRACE_NAMES:
+        events = synthetic_nersc_trace(name, spec)
+        assert events, name
+        assert all(0 <= e.src < 16 and 0 <= e.dst < 16 for e in events)
+        cycles = [e.cycle for e in events]
+        assert cycles == sorted(cycles)
+
+
+def test_unknown_trace_rejected():
+    with pytest.raises(ValueError):
+        synthetic_nersc_trace("hpl", SyntheticTraceSpec(n_nodes=16))
+
+
+def test_lulesh_is_local_and_bursty():
+    """LULESH: halo exchange -> all messages at iteration boundaries."""
+    spec = SyntheticTraceSpec(n_nodes=8, iterations=2, iteration_gap_cycles=100)
+    events = synthetic_nersc_trace("lulesh", spec)
+    assert all(e.cycle % 100 < 10 for e in events)
+
+
+def test_nekbone_has_allreduce_partners():
+    spec = SyntheticTraceSpec(n_nodes=16, iterations=1)
+    events = synthetic_nersc_trace("nekbone", spec)
+    xor_partners = {(e.src, e.dst) for e in events if e.size_flits == 1}
+    assert (0, 1) in xor_partners and (0, 2) in xor_partners
+
+
+def test_nekbone_requires_power_of_two():
+    with pytest.raises(ValueError):
+        synthetic_nersc_trace("nekbone", SyntheticTraceSpec(n_nodes=12))
+
+
+def test_multigrid_strides_grow():
+    spec = SyntheticTraceSpec(n_nodes=32, iterations=1)
+    events = synthetic_nersc_trace("multigrid", spec)
+    strides = {(e.dst - e.src) % 32 for e in events}
+    assert {1, 2, 4} <= strides
+
+
+def test_duplicate_trace_offsets_copies():
+    events = [TraceEvent(0, 0, 1, 2)]
+    doubled = duplicate_trace(events, copies=2, nodes_per_copy=8)
+    assert len(doubled) == 2
+    assert {(e.src, e.dst) for e in doubled} == {(0, 1), (8, 9)}
+
+
+def test_duplicate_preserves_timing():
+    events = [TraceEvent(5, 0, 1, 2), TraceEvent(9, 1, 0, 1)]
+    doubled = duplicate_trace(events, copies=3, nodes_per_copy=4)
+    assert sorted({e.cycle for e in doubled}) == [5, 9]
+
+
+def test_replay_delivers_everything():
+    network = waferscale_clos_network(32, 8, num_vcs=2, buffer_flits_per_port=8)
+    spec = SyntheticTraceSpec(n_nodes=16, iterations=1)
+    events = duplicate_trace(
+        synthetic_nersc_trace("nekbone", spec), copies=2, nodes_per_copy=16
+    )
+    stats = replay_trace(network, events)
+    assert stats.flits_delivered == stats.flits_offered
+    assert stats.packets_delivered == len(events)
+
+
+def test_replay_compression_speeds_completion():
+    spec = SyntheticTraceSpec(n_nodes=16, iterations=2, iteration_gap_cycles=400)
+    events = synthetic_nersc_trace("multigrid", spec)
+
+    def run(compression):
+        network = waferscale_clos_network(
+            16, 8, num_vcs=2, buffer_flits_per_port=8
+        )
+        return replay_trace(network, events, compression=compression)
+
+    slow = run(1.0)
+    fast = run(8.0)
+    assert fast.measure_end < slow.measure_end
+
+
+def test_replay_rejects_bad_compression():
+    network = waferscale_clos_network(16, 8, num_vcs=2, buffer_flits_per_port=8)
+    with pytest.raises(ValueError):
+        replay_trace(network, [], compression=0.0)

@@ -1,0 +1,104 @@
+"""Synthetic traffic patterns."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.netsim.traffic import (
+    BernoulliInjector,
+    TRAFFIC_PATTERNS,
+    make_pattern,
+)
+
+
+def test_all_patterns_constructible():
+    for name in TRAFFIC_PATTERNS:
+        pattern = make_pattern(name, 64)
+        rng = random.Random(1)
+        for src in range(64):
+            dst = pattern.destination(src, rng)
+            assert 0 <= dst < 64
+            assert dst != src
+
+
+def test_unknown_pattern_rejected():
+    with pytest.raises(ValueError):
+        make_pattern("zipf", 64)
+
+
+def test_uniform_covers_destinations():
+    pattern = make_pattern("uniform", 16)
+    rng = random.Random(0)
+    destinations = {pattern.destination(3, rng) for _ in range(500)}
+    assert destinations == set(range(16)) - {3}
+
+
+def test_transpose_is_involution():
+    pattern = make_pattern("transpose", 64)
+    rng = random.Random(0)
+    for src in range(64):
+        dst = pattern.destination(src, rng)
+        if dst != (src + 1) % 64:  # skip self-redirects
+            assert pattern.destination(dst, rng) == src
+
+
+def test_bit_complement_fixed():
+    pattern = make_pattern("bit-complement", 32)
+    rng = random.Random(0)
+    assert pattern.destination(0, rng) == 31
+    assert pattern.destination(5, rng) == 26
+
+
+def test_shuffle_rotates_bits():
+    pattern = make_pattern("shuffle", 8)
+    rng = random.Random(0)
+    # 3 = 0b011 -> 0b110 = 6
+    assert pattern.destination(3, rng) == 6
+
+
+def test_neighbor_wraps():
+    pattern = make_pattern("neighbor", 10)
+    rng = random.Random(0)
+    assert pattern.destination(9, rng) == 0
+
+
+def test_power_of_two_required():
+    with pytest.raises(ValueError):
+        make_pattern("transpose", 48)
+
+
+def test_hotspot_concentrates_traffic():
+    pattern = make_pattern("hotspot", 64)
+    rng = random.Random(2)
+    counts = Counter(pattern.destination(7, rng) for _ in range(4000))
+    top = counts.most_common(4)
+    share = sum(count for _, count in top) / 4000
+    assert share > 0.15  # 20% hotspot fraction across 4 hotspots
+
+
+def test_asymmetric_prefers_first_half():
+    pattern = make_pattern("asymmetric", 64)
+    rng = random.Random(3)
+    first_half = sum(
+        1 for _ in range(2000) if pattern.destination(40, rng) < 32
+    )
+    assert first_half / 2000 > 0.6
+
+
+def test_bernoulli_rate():
+    pattern = make_pattern("uniform", 8)
+    injector = BernoulliInjector(pattern, 0.4, packet_size_flits=4, seed=5)
+    generated = sum(
+        1
+        for cycle in range(20000)
+        if injector.generate(cycle, cycle % 8) is not None
+    )
+    # 0.4 flits/cycle at 4-flit packets = 0.1 packets/cycle.
+    assert generated / 20000 == pytest.approx(0.1, rel=0.1)
+
+
+def test_bernoulli_rejects_overload():
+    pattern = make_pattern("uniform", 8)
+    with pytest.raises(ValueError):
+        BernoulliInjector(pattern, 1.5, 4)

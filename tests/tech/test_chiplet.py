@@ -1,0 +1,86 @@
+"""Sub-switch chiplet models (Table II, Sections V.B-C)."""
+
+import math
+
+import pytest
+
+from repro.tech.chiplet import (
+    TH5_CONFIGURATIONS,
+    SubSwitchChiplet,
+    scaled_leaf_die,
+    tomahawk5,
+)
+
+
+def test_th5_default_parameters():
+    ssc = tomahawk5()
+    assert ssc.radix == 256
+    assert ssc.port_bandwidth_gbps == 200.0
+    assert ssc.area_mm2 == 800.0
+    assert ssc.core_power_w == 400.0
+
+
+def test_th5_switching_capacity_is_51_2_tbps():
+    for ssc in TH5_CONFIGURATIONS.values():
+        assert ssc.switching_capacity_gbps == pytest.approx(51200.0)
+
+
+def test_th5_side_mm():
+    assert tomahawk5().side_mm == pytest.approx(math.sqrt(800.0))
+
+
+def test_th5_rejects_invalid_config():
+    with pytest.raises(ValueError):
+        tomahawk5(256, 400.0)
+    with pytest.raises(ValueError):
+        tomahawk5(100, 200.0)
+
+
+def test_deradix_keeps_area():
+    """Section V.C: deradixing keeps die area (feedthrough I/O) fixed."""
+    half = tomahawk5().deradixed(2)
+    assert half.area_mm2 == 800.0
+    assert half.radix == 128
+
+
+def test_deradix_power_follows_quadratic():
+    half = tomahawk5().deradixed(2)
+    assert half.core_power_w == pytest.approx(100.0)
+
+
+def test_deradix_factor_one_is_identity():
+    ssc = tomahawk5()
+    assert ssc.deradixed(1) is ssc
+
+
+def test_deradix_rejects_non_divisor():
+    with pytest.raises(ValueError):
+        tomahawk5().deradixed(3)
+
+
+def test_scaled_leaf_area_scales_linearly():
+    quarter = scaled_leaf_die(64)
+    assert quarter.area_mm2 == pytest.approx(200.0)
+
+
+def test_scaled_leaf_power_quadratic():
+    quarter = scaled_leaf_die(64)
+    assert quarter.core_power_w == pytest.approx(25.0)
+
+
+def test_four_scaled_quarters_match_one_leaf_area():
+    """The disaggregated dies of one leaf fill one grid site."""
+    quarter = scaled_leaf_die(64)
+    assert 4 * quarter.area_mm2 == pytest.approx(tomahawk5().area_mm2)
+
+
+def test_scaled_leaf_rejects_oversize():
+    with pytest.raises(ValueError):
+        scaled_leaf_die(512)
+
+
+def test_chiplet_validation():
+    with pytest.raises(ValueError):
+        SubSwitchChiplet("bad", 1, 200.0, 800.0, 400.0)
+    with pytest.raises(ValueError):
+        SubSwitchChiplet("bad", 8, -1.0, 800.0, 400.0)

@@ -1,0 +1,50 @@
+"""Cooling envelopes (Figs 16, 28)."""
+
+import pytest
+
+from repro.tech.cooling import (
+    AIR_COOLING,
+    MULTIPHASE_COOLING,
+    WATER_COOLING,
+    best_cooling_for,
+)
+
+
+def test_envelope_ordering():
+    assert (
+        AIR_COOLING.max_power_density_w_per_mm2
+        < WATER_COOLING.max_power_density_w_per_mm2
+        < MULTIPHASE_COOLING.max_power_density_w_per_mm2
+    )
+
+
+def test_water_cooling_handles_hetero_300mm_design():
+    """Paper: 0.48 W/mm2 post-heterogeneity fits water cooling."""
+    assert WATER_COOLING.supports(0.48 * 90000, 90000)
+
+
+def test_water_cooling_rejects_unoptimized_300mm_design():
+    """Paper: 0.69 W/mm2 exceeds the water envelope."""
+    assert not WATER_COOLING.supports(0.69 * 90000, 90000)
+
+
+def test_multiphase_handles_unoptimized_design():
+    assert MULTIPHASE_COOLING.supports(0.69 * 90000, 90000)
+
+
+def test_best_cooling_selects_cheapest():
+    assert best_cooling_for(0.05 * 90000, 90000) is AIR_COOLING
+    assert best_cooling_for(0.45 * 90000, 90000) is WATER_COOLING
+    assert best_cooling_for(1.0 * 90000, 90000) is MULTIPHASE_COOLING
+
+
+def test_best_cooling_none_when_impossible():
+    assert best_cooling_for(10.0 * 90000, 90000) is None
+
+
+def test_max_power_scales_with_area():
+    assert WATER_COOLING.max_power_w(90000) == pytest.approx(45000.0)
+
+
+def test_supports_boundary_inclusive():
+    assert WATER_COOLING.supports(WATER_COOLING.max_power_w(1000), 1000)

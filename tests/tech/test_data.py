@@ -1,0 +1,64 @@
+"""Historical datasets (Fig 1, Fig 15, Table V)."""
+
+import pytest
+
+from repro.tech.data import (
+    CONNECTION_LATENCIES_NS,
+    PACKAGING_DENSITY,
+    SWITCH_SCALING_2010_2022,
+    TERALYNX_SERIES,
+    TOMAHAWK_SERIES,
+    bandwidth_growth_factor,
+    packaging_growth_factor,
+    radix_growth_factor,
+)
+
+
+def test_radix_growth_is_8x():
+    """Paper Fig 1a: radix grew only 8x over 2010-2022."""
+    assert radix_growth_factor() == pytest.approx(8.0)
+
+
+def test_bandwidth_outgrew_radix():
+    assert bandwidth_growth_factor() > 4 * radix_growth_factor()
+
+
+def test_bga_growth_8x():
+    assert packaging_growth_factor("BGA") == pytest.approx(8.0)
+
+
+def test_lga_growth_2_6x():
+    assert packaging_growth_factor("LGA") == pytest.approx(2.6)
+
+
+def test_unknown_packaging_rejected():
+    with pytest.raises(ValueError):
+        packaging_growth_factor("PGA")
+
+
+def test_switch_series_sorted_by_year():
+    years = [g.year for g in SWITCH_SCALING_2010_2022]
+    assert years == sorted(years)
+
+
+def test_tomahawk_series_spans_th1_to_th5():
+    names = [g.name for g in TOMAHAWK_SERIES]
+    assert names[0] == "Tomahawk-1"
+    assert names[-1] == "Tomahawk-5"
+
+
+def test_teralynx_series_nonempty():
+    assert len(TERALYNX_SERIES) == 3
+
+
+def test_connection_latency_ordering():
+    """Table V: on-wafer << in-rack PCB << 100m optical."""
+    on_wafer = CONNECTION_LATENCIES_NS["on-wafer"][1]
+    pcb = CONNECTION_LATENCIES_NS["in-rack PCB"][0]
+    optical = CONNECTION_LATENCIES_NS["100m optical"][0]
+    assert on_wafer < pcb < optical
+
+
+def test_packaging_samples_have_both_technologies():
+    technologies = {s.technology for s in PACKAGING_DENSITY}
+    assert technologies == {"BGA", "LGA"}

@@ -1,0 +1,88 @@
+"""External I/O technology models (Table IV)."""
+
+import pytest
+
+from repro.tech.external_io import (
+    AREA_IO,
+    EXTERNAL_IO_TECHNOLOGIES,
+    OPTICAL_IO,
+    SERDES_IO,
+    ExternalIOTechnology,
+    IOPlacement,
+)
+
+
+def test_serdes_capacity_300mm():
+    # 4 x 300 mm x 512 Gbps/mm = 614.4 Tbps
+    assert SERDES_IO.capacity_gbps(300.0) == pytest.approx(614400.0)
+
+
+def test_optical_capacity_300mm():
+    # 4 layers at 800 Gbps/mm/layer over the 1200 mm perimeter
+    assert OPTICAL_IO.capacity_gbps(300.0) == pytest.approx(3840000.0)
+
+
+def test_area_capacity_300mm():
+    # 16 Gbps/mm2 x 90000 mm2 = 1.44 Pbps
+    assert AREA_IO.capacity_gbps(300.0) == pytest.approx(1440000.0)
+
+
+def test_area_scales_with_area_not_perimeter():
+    assert AREA_IO.capacity_gbps(200.0) / AREA_IO.capacity_gbps(100.0) == pytest.approx(4.0)
+
+
+def test_periphery_scales_with_perimeter():
+    assert SERDES_IO.capacity_gbps(200.0) / SERDES_IO.capacity_gbps(100.0) == pytest.approx(2.0)
+
+
+def test_serdes_max_ports_match_paper():
+    """Fig 7: SerDes supports 256 / 512 / 512 ports at 100/200/300 mm."""
+    assert SERDES_IO.max_bidirectional_ports(100.0, 200.0) == 256
+    assert SERDES_IO.max_bidirectional_ports(200.0, 200.0) == 512
+    # 300 mm raw ceiling is 768; the power-of-two Clos step lands at 512.
+    assert SERDES_IO.max_bidirectional_ports(300.0, 200.0) < 1024
+
+
+def test_optical_max_ports_allow_8192_at_300mm():
+    assert OPTICAL_IO.max_bidirectional_ports(300.0, 200.0) >= 8192
+
+
+def test_area_io_max_ports_2048_at_300mm():
+    assert 2048 <= AREA_IO.max_bidirectional_ports(300.0, 200.0) < 4096
+
+
+def test_serdes_required_multiplier():
+    assert SERDES_IO.required_multiplier == 2.0
+    assert SERDES_IO.required_gbps(512, 200.0) == pytest.approx(
+        2 * 512 * 200.0 * 2.0
+    )
+
+
+def test_optical_required_nominal():
+    assert OPTICAL_IO.required_gbps(1024, 200.0) == pytest.approx(2 * 1024 * 200.0)
+
+
+def test_area_io_single_layer_enforced():
+    with pytest.raises(ValueError, match="single-layer"):
+        ExternalIOTechnology(
+            name="bad-area",
+            placement=IOPlacement.AREA,
+            bandwidth_density=16.0,
+            layers=2,
+            energy_pj_per_bit=8.0,
+        )
+
+
+def test_registry_names():
+    assert set(EXTERNAL_IO_TECHNOLOGIES) == {"SerDes", "Optical I/O", "Area I/O"}
+
+
+def test_energy_values_match_table_iv():
+    assert SERDES_IO.energy_pj_per_bit == 8.0
+    assert OPTICAL_IO.energy_pj_per_bit == 5.0
+    assert AREA_IO.energy_pj_per_bit == 8.0
+
+
+def test_capacity_rejects_bad_substrate():
+    with pytest.raises(ValueError):
+        OPTICAL_IO.capacity_gbps(-1.0)

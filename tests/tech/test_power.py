@@ -1,0 +1,108 @@
+"""Power scaling laws (Section V)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tech.power import (
+    link_energy_scaling,
+    quadratic_power_fit,
+    solve_vdd_for_bandwidth,
+    switch_core_power,
+)
+
+
+def test_th5_anchor_point():
+    assert switch_core_power(256) == pytest.approx(400.0)
+
+
+def test_half_radix_quarter_power():
+    """Quadratic law: half the radix is a quarter of the power."""
+    assert switch_core_power(128) == pytest.approx(100.0)
+
+
+def test_disaggregation_power_halving():
+    """Two half-radix dies burn half a full-radix die (Section V.B)."""
+    assert 2 * switch_core_power(128) == pytest.approx(switch_core_power(256) / 2)
+
+
+def test_quarter_split_power_quarter():
+    """Four quarter-radix dies burn 1/4 of the original leaf."""
+    assert 4 * switch_core_power(64) == pytest.approx(switch_core_power(256) / 4)
+
+
+def test_custom_reference():
+    assert switch_core_power(64, reference_power_w=100.0, reference_radix=64) == 100.0
+
+
+def test_rejects_zero_radix():
+    with pytest.raises(ValueError):
+        switch_core_power(0)
+
+
+def test_quadratic_fit_exact_data():
+    radixes = [64, 128, 256]
+    powers = [0.01 * k * k for k in radixes]
+    a, rms = quadratic_power_fit(radixes, powers)
+    assert a == pytest.approx(0.01)
+    assert rms == pytest.approx(0.0, abs=1e-12)
+
+
+def test_quadratic_fit_rejects_empty():
+    with pytest.raises(ValueError):
+        quadratic_power_fit([], [])
+
+
+def test_quadratic_fit_rejects_mismatched():
+    with pytest.raises(ValueError):
+        quadratic_power_fit([1, 2], [1.0])
+
+
+def test_solve_vdd_identity():
+    assert solve_vdd_for_bandwidth(1.0, vdd0=1.0, vth=0.3) == pytest.approx(1.0)
+
+
+def test_solve_vdd_monotone():
+    v2 = solve_vdd_for_bandwidth(2.0, vdd0=1.0, vth=0.3)
+    v4 = solve_vdd_for_bandwidth(4.0, vdd0=1.0, vth=0.3)
+    assert v4 > v2 > 1.0
+
+
+def test_solve_vdd_satisfies_bandwidth_equation():
+    vth = 0.3125
+    for multiplier in (1.5, 2.0, 3.0):
+        vdd = solve_vdd_for_bandwidth(multiplier, vdd0=1.0, vth=vth)
+        b0 = (1.0 - vth) ** 2 / 1.0
+        b = (vdd - vth) ** 2 / vdd
+        assert b == pytest.approx(multiplier * b0, rel=1e-9)
+
+
+def test_energy_scaling_doubling_between_2_and_3x():
+    assert 2.0 < link_energy_scaling(2.0) < 3.0
+
+
+def test_energy_scaling_identity():
+    assert link_energy_scaling(1.0) == pytest.approx(1.0)
+
+
+def test_energy_scaling_rejects_bad_vth_ratio():
+    with pytest.raises(ValueError):
+        link_energy_scaling(2.0, vth_over_vdd=1.5)
+
+
+@given(st.floats(min_value=1.0, max_value=16.0))
+def test_energy_scaling_superlinear_property(multiplier):
+    """Energy/bit multiplier always >= bandwidth multiplier^0 and grows."""
+    scaling = link_energy_scaling(multiplier)
+    assert scaling >= 1.0
+    assert math.isfinite(scaling)
+
+
+@given(
+    st.floats(min_value=1.01, max_value=8.0),
+    st.floats(min_value=1.01, max_value=8.0),
+)
+def test_energy_scaling_monotone_property(m1, m2):
+    lo, hi = sorted((m1, m2))
+    assert link_energy_scaling(lo) <= link_energy_scaling(hi) + 1e-12

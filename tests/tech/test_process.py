@@ -1,0 +1,43 @@
+"""Process-node normalization (Fig 15 methodology)."""
+
+import pytest
+
+from repro.tech.process import (
+    SUPPORTED_NODES_NM,
+    energy_factor,
+    normalize_power_to_node,
+)
+
+
+def test_5nm_is_reference():
+    assert energy_factor(5) == 1.0
+
+
+def test_older_nodes_cost_more_energy():
+    factors = [energy_factor(node) for node in sorted(SUPPORTED_NODES_NM)]
+    assert factors == sorted(factors)
+    assert energy_factor(180) > energy_factor(28) > energy_factor(7) > energy_factor(5)
+
+
+def test_normalize_down_reduces_power():
+    assert normalize_power_to_node(400.0, 16, 5) < 400.0
+
+
+def test_normalize_identity():
+    assert normalize_power_to_node(123.0, 7, 7) == pytest.approx(123.0)
+
+
+def test_normalize_roundtrip():
+    down = normalize_power_to_node(400.0, 16, 5)
+    back = normalize_power_to_node(down, 5, 16)
+    assert back == pytest.approx(400.0)
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(ValueError, match="unsupported process node"):
+        energy_factor(6)
+
+
+def test_negative_power_rejected():
+    with pytest.raises(ValueError):
+        normalize_power_to_node(-1.0, 7, 5)

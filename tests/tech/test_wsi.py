@@ -1,0 +1,83 @@
+"""WSI technology models (Table I, Section V.A)."""
+
+import pytest
+
+from repro.tech.wsi import (
+    INFO_SOW,
+    SI_IF,
+    SI_IF_OVERDRIVEN,
+    SILICON_INTERPOSER,
+    WSI_TECHNOLOGIES,
+    WSITechnology,
+)
+
+
+def test_si_if_baseline_density_is_3200():
+    assert SI_IF.bandwidth_density_gbps_per_mm == pytest.approx(3200.0)
+
+
+def test_overdriven_density_doubles():
+    assert SI_IF_OVERDRIVEN.bandwidth_density_gbps_per_mm == pytest.approx(6400.0)
+
+
+def test_overdrive_energy_penalty_superlinear():
+    """Doubling link bandwidth via Vdd must cost >2x energy per bit."""
+    ratio = SI_IF_OVERDRIVEN.energy_pj_per_bit / SI_IF.energy_pj_per_bit
+    assert 2.0 < ratio < 3.0
+
+
+def test_info_sow_is_12800():
+    assert INFO_SOW.bandwidth_density_gbps_per_mm == pytest.approx(12800.0)
+
+
+def test_info_sow_higher_energy_than_si_if():
+    assert INFO_SOW.energy_pj_per_bit > SI_IF.energy_pj_per_bit
+
+
+def test_interposer_limited_substrate():
+    """Table I: silicon interposers cap out near 8.5 cm^2."""
+    assert SILICON_INTERPOSER.max_substrate_mm < 50
+
+
+def test_edge_capacity_scales_with_edge_length():
+    assert SI_IF.edge_capacity_gbps(28.0) == pytest.approx(28.0 * 3200.0)
+
+
+def test_edge_capacity_rejects_non_positive():
+    with pytest.raises(ValueError):
+        SI_IF.edge_capacity_gbps(0.0)
+
+
+def test_overdriven_name_tagged():
+    assert "overdrive" in SI_IF_OVERDRIVEN.name
+
+
+def test_registry_contains_all():
+    assert {"Si-IF", "InFO-SoW", "Silicon interposer"} <= set(WSI_TECHNOLOGIES)
+
+
+def test_invalid_layers_rejected():
+    with pytest.raises(ValueError):
+        WSITechnology(
+            name="bad",
+            bandwidth_density_gbps_per_mm_per_layer=100.0,
+            signal_layers=0,
+            energy_pj_per_bit=1.0,
+            hop_latency_ns=1.0,
+            io_pitch_um=4.0,
+            max_substrate_mm=300.0,
+        )
+
+
+def test_overdrive_is_monotone_in_multiplier():
+    e2 = SI_IF.overdriven(2.0).energy_pj_per_bit
+    e4 = SI_IF.overdriven(4.0).energy_pj_per_bit
+    assert e4 > e2 > SI_IF.energy_pj_per_bit
+
+
+def test_overdrive_identity_multiplier():
+    same = SI_IF.overdriven(1.0)
+    assert same.energy_pj_per_bit == pytest.approx(SI_IF.energy_pj_per_bit)
+    assert same.bandwidth_density_gbps_per_mm == pytest.approx(
+        SI_IF.bandwidth_density_gbps_per_mm
+    )

@@ -1,0 +1,97 @@
+"""Yield models (Section III.A's integration-choice argument)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tech.yield_model import (
+    chiplet_system_yield,
+    compare_integration_yield,
+    die_yield,
+    monolithic_wafer_yield,
+)
+
+
+def test_die_yield_decreases_with_area():
+    assert die_yield(100.0) > die_yield(800.0) > die_yield(5000.0)
+
+
+def test_die_yield_perfect_at_zero_defects():
+    assert die_yield(800.0, defect_density_per_mm2=0.0) == 1.0
+
+
+def test_die_yield_in_unit_interval():
+    assert 0.0 < die_yield(800.0) <= 1.0
+
+
+def test_monolithic_yield_collapses_without_redundancy():
+    """A 96-reticle monolithic wafer with no redundancy barely yields."""
+    yield_96 = monolithic_wafer_yield(96, 800.0)
+    assert yield_96 < die_yield(800.0) ** 95  # strictly compounding
+    assert yield_96 < 0.5
+
+
+def test_redundancy_recovers_monolithic_yield():
+    without = monolithic_wafer_yield(96, 800.0)
+    with_spares = monolithic_wafer_yield(101, 800.0, required_sites=96)
+    assert with_spares > without
+
+
+def test_chiplet_yield_high_with_kgd():
+    """Section III: >99.9% bonding gives high assembly yield at 96 dies."""
+    assert chiplet_system_yield(96) > 0.9
+
+
+def test_chiplet_spares_improve_yield():
+    assert chiplet_system_yield(96, spare_sites=2) > chiplet_system_yield(96)
+
+
+def test_chiplet_yield_perfect_bonding():
+    assert chiplet_system_yield(96, bond_yield=1.0) == 1.0
+
+
+def test_comparison_favors_chiplets():
+    """The paper's reason for choosing chiplet-based WSI."""
+    comparison = compare_integration_yield(96)
+    assert comparison.chiplet_based > comparison.monolithic_with_redundancy
+    assert comparison.chiplet_advantage > 1.0
+
+
+def test_comparison_redundancy_beats_none():
+    comparison = compare_integration_yield(96)
+    assert (
+        comparison.monolithic_with_redundancy
+        >= comparison.monolithic_no_redundancy
+    )
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        die_yield(-1.0)
+    with pytest.raises(ValueError):
+        monolithic_wafer_yield(0, 800.0)
+    with pytest.raises(ValueError):
+        monolithic_wafer_yield(10, 800.0, required_sites=11)
+    with pytest.raises(ValueError):
+        chiplet_system_yield(10, bond_yield=0.0)
+    with pytest.raises(ValueError):
+        compare_integration_yield(96, redundancy_fraction=1.0)
+
+
+@given(
+    st.integers(min_value=1, max_value=60),
+    st.floats(min_value=0.9, max_value=1.0),
+    st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_chiplet_yield_is_probability(n, bond, spares):
+    value = chiplet_system_yield(n, bond_yield=bond, spare_sites=spares)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.integers(min_value=2, max_value=40))
+@settings(max_examples=20, deadline=None)
+def test_monolithic_monotone_in_required_sites(n):
+    """Requiring fewer working sites can only help yield."""
+    strict = monolithic_wafer_yield(n, 800.0, required_sites=n)
+    relaxed = monolithic_wafer_yield(n, 800.0, required_sites=max(1, n - 1))
+    assert relaxed >= strict

@@ -1,0 +1,80 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_design_command(capsys):
+    code = main(
+        [
+            "design",
+            "--substrate",
+            "100",
+            "--wsi",
+            "Si-IF",
+            "--external-io",
+            "Optical I/O",
+            "--hetero",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1024 x 200G" in out
+    assert "heterogeneous" in out
+
+
+def test_design_show_mapping(capsys):
+    code = main(
+        [
+            "design",
+            "--substrate",
+            "100",
+            "--wsi",
+            "Si-IF",
+            "--external-io",
+            "Optical I/O",
+            "--show-mapping",
+        ]
+    )
+    assert code == 0
+    assert "placement" in capsys.readouterr().out
+
+
+def test_experiments_command(capsys):
+    code = main(["experiments", "tab06"])
+    assert code == 0
+    assert "Clos 3(N/k)" in capsys.readouterr().out
+
+
+def test_usecases_command(capsys):
+    code = main(["usecases"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tab03" in out and "tab09" in out
+
+
+def test_simulate_command(capsys):
+    code = main(
+        [
+            "simulate",
+            "--terminals",
+            "32",
+            "--radix",
+            "8",
+            "--vcs",
+            "2",
+            "--buffer",
+            "8",
+            "--loads",
+            "0.1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "waferscale" in out and "switch-network" in out

@@ -1,0 +1,53 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_tbps_to_gbps():
+    assert units.tbps(51.2) == 51200.0
+
+
+def test_gbps_to_tbps_roundtrip():
+    assert units.gbps_to_tbps(units.tbps(12.8)) == pytest.approx(12.8)
+
+
+def test_kw_to_watts():
+    assert units.kw(4) == 4000.0
+
+
+def test_w_to_kw_roundtrip():
+    assert units.w_to_kw(units.kw(62)) == pytest.approx(62.0)
+
+
+def test_io_power_200g_at_2pj():
+    # 200 Gbps at 2 pJ/bit = 0.4 W
+    assert units.io_power_watts(200.0, 2.0) == pytest.approx(0.4)
+
+
+def test_io_power_th5_line_rate():
+    # TH-5's 51.2 Tbps at 2 pJ/bit is the paper's ~100 W I/O figure.
+    assert units.io_power_watts(51200.0, 2.0) == pytest.approx(102.4)
+
+
+def test_mm2_of_square():
+    assert units.mm2_of_square(300.0) == 90000.0
+
+
+def test_require_positive_accepts():
+    assert units.require_positive("x", 1.5) == 1.5
+
+
+def test_require_positive_rejects_zero():
+    with pytest.raises(ValueError, match="x must be positive"):
+        units.require_positive("x", 0.0)
+
+
+def test_require_non_negative_accepts_zero():
+    assert units.require_non_negative("x", 0.0) == 0.0
+
+
+def test_require_non_negative_rejects():
+    with pytest.raises(ValueError):
+        units.require_non_negative("x", -1.0)

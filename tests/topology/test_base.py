@@ -1,0 +1,139 @@
+"""Logical-topology data structures and invariants."""
+
+import pytest
+
+from repro.tech.chiplet import SubSwitchChiplet
+from repro.topology.base import (
+    LogicalLink,
+    LogicalTopology,
+    NodeRole,
+    SwitchNode,
+    distribute_evenly,
+    merge_links,
+    roles_summary,
+)
+
+
+def _ssc(radix=8):
+    return SubSwitchChiplet("t", radix, 200.0, 100.0, 50.0)
+
+
+def _node(i, ext=0, radix=8, role=NodeRole.CORE):
+    return SwitchNode(index=i, role=role, chiplet=_ssc(radix), external_ports=ext)
+
+
+def test_link_rejects_self_loop():
+    with pytest.raises(ValueError):
+        LogicalLink(1, 1, 2)
+
+
+def test_link_rejects_zero_channels():
+    with pytest.raises(ValueError):
+        LogicalLink(0, 1, 0)
+
+
+def test_node_rejects_external_over_radix():
+    with pytest.raises(ValueError, match="exceeds chiplet radix"):
+        _node(0, ext=9)
+
+
+def test_topology_rejects_noncontiguous_indices():
+    with pytest.raises(ValueError, match="contiguous"):
+        LogicalTopology(
+            name="bad",
+            nodes=(_node(0), _node(2)),
+            links=(),
+            port_bandwidth_gbps=200.0,
+        )
+
+
+def test_topology_rejects_duplicate_links():
+    with pytest.raises(ValueError, match="duplicate link"):
+        LogicalTopology(
+            name="bad",
+            nodes=(_node(0), _node(1)),
+            links=(LogicalLink(0, 1, 1), LogicalLink(1, 0, 1)),
+            port_bandwidth_gbps=200.0,
+        )
+
+
+def test_topology_rejects_oversubscribed_node():
+    with pytest.raises(ValueError, match="oversubscribed"):
+        LogicalTopology(
+            name="bad",
+            nodes=(_node(0, ext=6), _node(1)),
+            links=(LogicalLink(0, 1, 4),),
+            port_bandwidth_gbps=200.0,
+        )
+
+
+def test_radix_sums_external_ports():
+    topo = LogicalTopology(
+        name="t",
+        nodes=(_node(0, ext=4), _node(1, ext=2)),
+        links=(LogicalLink(0, 1, 2),),
+        port_bandwidth_gbps=200.0,
+    )
+    assert topo.radix == 6
+    assert topo.total_external_bandwidth_gbps == pytest.approx(1200.0)
+
+
+def test_channel_degrees():
+    topo = LogicalTopology(
+        name="t",
+        nodes=(_node(0), _node(1), _node(2)),
+        links=(LogicalLink(0, 1, 3), LogicalLink(1, 2, 2)),
+        port_bandwidth_gbps=200.0,
+    )
+    assert topo.channel_degrees() == {0: 3, 1: 5, 2: 2}
+
+
+def test_is_connected_true():
+    topo = LogicalTopology(
+        name="t",
+        nodes=(_node(0), _node(1), _node(2)),
+        links=(LogicalLink(0, 1, 1), LogicalLink(1, 2, 1)),
+        port_bandwidth_gbps=200.0,
+    )
+    assert topo.is_connected()
+
+
+def test_is_connected_false():
+    topo = LogicalTopology(
+        name="t",
+        nodes=(_node(0), _node(1), _node(2)),
+        links=(LogicalLink(0, 1, 1),),
+        port_bandwidth_gbps=200.0,
+    )
+    assert not topo.is_connected()
+
+
+def test_distribute_evenly_exact():
+    assert distribute_evenly(8, 4) == [2, 2, 2, 2]
+
+
+def test_distribute_evenly_remainder_to_front():
+    assert distribute_evenly(7, 3) == [3, 2, 2]
+
+
+def test_distribute_evenly_total_preserved():
+    for total in range(0, 30):
+        for bins in range(1, 7):
+            shares = distribute_evenly(total, bins)
+            assert sum(shares) == total
+            assert max(shares) - min(shares) <= 1
+
+
+def test_merge_links_combines_duplicates():
+    merged = merge_links([(0, 1, 2), (1, 0, 3), (2, 1, 1)])
+    by_pair = {(l.a, l.b): l.channels for l in merged}
+    assert by_pair == {(0, 1): 5, (1, 2): 1}
+
+
+def test_merge_links_drops_zero_channels():
+    assert merge_links([(0, 1, 0)]) == []
+
+
+def test_roles_summary(tiny_clos):
+    summary = roles_summary(tiny_clos)
+    assert summary == {"leaf": 4, "spine": 2}

@@ -1,0 +1,161 @@
+"""Folded Clos construction (Section IV, Table VI)."""
+
+import pytest
+
+from repro.tech.chiplet import scaled_leaf_die, tomahawk5
+from repro.topology.base import NodeRole
+from repro.topology.clos import folded_clos, heterogeneous_clos
+
+
+def test_chiplet_count_formula():
+    """Table VI: a Clos needs 3(N/k) chiplets."""
+    for n in (256, 512, 1024, 2048, 8192):
+        assert folded_clos(n).chiplet_count == 3 * n // 256
+
+
+def test_radix_matches_request():
+    assert folded_clos(2048).radix == 2048
+
+
+def test_leaf_and_spine_counts():
+    topo = folded_clos(2048)
+    assert len(topo.leaves()) == 16
+    assert len(topo.spines()) == 8
+
+
+def test_leaves_expose_half_radix_externally():
+    topo = folded_clos(1024)
+    for leaf in topo.leaves():
+        assert leaf.external_ports == 128
+
+
+def test_spines_have_no_external_ports():
+    topo = folded_clos(1024)
+    for spine in topo.spines():
+        assert spine.external_ports == 0
+
+
+def test_spines_exactly_full():
+    """Every spine port is used: the Clos is rearrangeably non-blocking."""
+    topo = folded_clos(2048)
+    degrees = topo.channel_degrees()
+    for spine in topo.spines():
+        assert degrees[spine.index] == spine.chiplet.radix
+
+
+def test_leaf_uplinks_equal_downlinks():
+    """Full bisection: k/2 uplink channels per leaf."""
+    topo = folded_clos(4096)
+    degrees = topo.channel_degrees()
+    for leaf in topo.leaves():
+        assert degrees[leaf.index] == leaf.external_ports
+
+
+def test_uplinks_spread_over_all_spines():
+    topo = folded_clos(2048)
+    adjacency = topo.adjacency()
+    spine_ids = {s.index for s in topo.spines()}
+    for leaf in topo.leaves():
+        assert set(adjacency[leaf.index]) == spine_ids
+
+
+def test_connected():
+    assert folded_clos(1024).is_connected()
+
+
+def test_path_diversity_is_spine_count():
+    assert folded_clos(2048).path_diversity == 8
+
+
+def test_invalid_radix_rejected():
+    with pytest.raises(ValueError):
+        folded_clos(300)  # not a multiple of 256
+    with pytest.raises(ValueError):
+        folded_clos(128)  # below a single SSC
+
+
+def test_deradixed_clos():
+    ssc = tomahawk5().deradixed(2)
+    topo = folded_clos(4096, ssc)
+    assert topo.chiplet_count == 3 * 4096 // 128
+
+
+def test_bisection_channels_positive():
+    assert folded_clos(1024).bisection_channels() > 0
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous Clos (Section V.B)
+# ----------------------------------------------------------------------
+
+def test_hetero_radix_preserved():
+    assert heterogeneous_clos(2048, leaf_split=4).radix == 2048
+
+
+def test_hetero_split1_is_homogeneous():
+    topo = heterogeneous_clos(1024, leaf_split=1)
+    assert topo.name.startswith("folded-clos")
+
+
+def test_hetero_leaf_count_multiplied():
+    base = folded_clos(2048)
+    hetero = heterogeneous_clos(2048, leaf_split=4)
+    assert len(hetero.leaves()) == 4 * len(base.leaves())
+
+
+def test_hetero_spines_unchanged():
+    base = folded_clos(2048)
+    hetero = heterogeneous_clos(2048, leaf_split=2)
+    assert len(hetero.spines()) == len(base.spines())
+    for spine in hetero.spines():
+        assert spine.chiplet.radix == 256
+
+
+def test_hetero_leaves_are_scaled_dies():
+    hetero = heterogeneous_clos(2048, leaf_split=4)
+    for leaf in hetero.leaves():
+        assert leaf.chiplet.radix == 64
+        assert leaf.chiplet.core_power_w == pytest.approx(25.0)
+
+
+def test_hetero_spines_still_full():
+    hetero = heterogeneous_clos(2048, leaf_split=4)
+    degrees = hetero.channel_degrees()
+    for spine in hetero.spines():
+        assert degrees[spine.index] == 256
+
+
+def test_hetero_total_leaf_area_matches_homogeneous():
+    """Disaggregated leaves of one site fill the original leaf's area."""
+    base = folded_clos(2048)
+    hetero = heterogeneous_clos(2048, leaf_split=4)
+    base_leaf_area = sum(n.chiplet.area_mm2 for n in base.leaves())
+    hetero_leaf_area = sum(n.chiplet.area_mm2 for n in hetero.leaves())
+    assert hetero_leaf_area == pytest.approx(base_leaf_area)
+
+
+def test_hetero_core_power_reduction():
+    """Quarter-radix leaves burn 1/4 the leaf power (Fig 16's driver)."""
+    base = folded_clos(2048)
+    hetero = heterogeneous_clos(2048, leaf_split=4)
+    base_core = sum(n.chiplet.core_power_w for n in base.nodes)
+    hetero_core = sum(n.chiplet.core_power_w for n in hetero.nodes)
+    # Leaves are 2/3 of the chiplets' power budget; saving 3/4 of it
+    # cuts total core power by half.
+    assert hetero_core == pytest.approx(base_core / 2.0)
+
+
+def test_hetero_invalid_split_rejected():
+    with pytest.raises(ValueError):
+        heterogeneous_clos(1024, leaf_split=0)
+    with pytest.raises(ValueError):
+        heterogeneous_clos(1024, leaf_split=256)
+
+
+def test_hetero_uses_reference_for_scaling():
+    ssc = tomahawk5()
+    hetero = heterogeneous_clos(1024, ssc, leaf_split=2)
+    expected = scaled_leaf_die(128, reference=ssc)
+    assert hetero.leaves()[0].chiplet.core_power_w == pytest.approx(
+        expected.core_power_w
+    )

@@ -1,0 +1,189 @@
+"""Mesh, butterfly, dragonfly, flattened butterfly (Section VII)."""
+
+import pytest
+
+from repro.tech.chiplet import tomahawk5
+from repro.topology.base import NodeRole
+from repro.topology.butterfly import tapered_butterfly
+from repro.topology.dragonfly import dragonfly
+from repro.topology.flattened_butterfly import flattened_butterfly
+from repro.topology.mesh import direct_mesh
+
+
+# ---------------------------------------------------------------- mesh
+
+def test_mesh_node_count():
+    assert direct_mesh(4, 5).chiplet_count == 20
+
+
+def test_mesh_connected():
+    assert direct_mesh(5, 5).is_connected()
+
+
+def test_mesh_all_core_role():
+    for node in direct_mesh(3, 3).nodes:
+        assert node.role is NodeRole.CORE
+
+
+def test_mesh_edge_nodes_get_more_external_ports():
+    topo = direct_mesh(3, 3)
+    corner = topo.nodes[0]
+    center = topo.nodes[4]
+    assert corner.external_ports > center.external_ports
+
+
+def test_mesh_internal_fraction_controls_split():
+    sparse = direct_mesh(3, 3, internal_fraction=0.2)
+    dense = direct_mesh(3, 3, internal_fraction=0.8)
+    assert sparse.radix > dense.radix
+
+
+def test_mesh_link_count():
+    # rows*(cols-1) + (rows-1)*cols neighbor links
+    topo = direct_mesh(4, 4)
+    assert len(topo.links) == 4 * 3 + 3 * 4
+
+
+def test_mesh_rejects_single_node():
+    with pytest.raises(ValueError):
+        direct_mesh(1, 1)
+
+
+def test_mesh_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        direct_mesh(3, 3, internal_fraction=1.5)
+
+
+# ----------------------------------------------------------- butterfly
+
+def test_butterfly_radix():
+    # taper=2 with k=256: 170 external ports per leaf
+    topo = tapered_butterfly(1700, taper=2)
+    assert topo.radix == 1700
+
+
+def test_butterfly_taper_increases_external_share():
+    clos_like = tapered_butterfly(1280, taper=1)
+    tapered = tapered_butterfly(1700, taper=2)
+    leaf_ext_1 = clos_like.leaves()[0].external_ports
+    leaf_ext_2 = tapered.leaves()[0].external_ports
+    assert leaf_ext_2 > leaf_ext_1
+
+
+def test_butterfly_spines_absorb_uplinks():
+    topo = tapered_butterfly(1700, taper=2)
+    degrees = topo.channel_degrees()
+    for spine in topo.spines():
+        assert degrees[spine.index] <= spine.chiplet.radix
+
+
+def test_butterfly_connected():
+    assert tapered_butterfly(1700, taper=2).is_connected()
+
+
+def test_butterfly_rejects_bad_port_count():
+    with pytest.raises(ValueError):
+        tapered_butterfly(1000, taper=2)
+
+
+def test_butterfly_fewer_chiplets_per_port_than_clos():
+    """The taper is what buys butterfly its ~10% radix edge."""
+    from repro.topology.clos import folded_clos
+
+    butterfly = tapered_butterfly(3400, taper=2)
+    clos = folded_clos(3072)
+    assert (
+        butterfly.radix / butterfly.chiplet_count
+        > clos.radix / clos.chiplet_count
+    )
+
+
+# ----------------------------------------------------------- dragonfly
+
+def test_dragonfly_node_count():
+    assert dragonfly(6, routers_per_group=8).chiplet_count == 48
+
+
+def test_dragonfly_connected():
+    assert dragonfly(6, routers_per_group=8).is_connected()
+
+
+def test_dragonfly_all_nodes_terminate_ports():
+    topo = dragonfly(5, routers_per_group=8)
+    for node in topo.nodes:
+        assert node.external_ports > 0
+
+
+def test_dragonfly_balanced_external_ports():
+    """Every router exposes exactly p*bundle terminals."""
+    topo = dragonfly(6, routers_per_group=8)
+    externals = {n.external_ports for n in topo.nodes}
+    assert len(externals) == 1
+
+
+def test_dragonfly_port_budget_respected():
+    topo = dragonfly(14, routers_per_group=8)
+    degrees = topo.channel_degrees()
+    for node in topo.nodes:
+        assert node.external_ports + degrees[node.index] <= node.chiplet.radix
+
+
+def test_dragonfly_group_limit():
+    with pytest.raises(ValueError):
+        dragonfly(100, routers_per_group=8)  # > a*h + 1 = 17
+
+
+def test_dragonfly_needs_two_groups():
+    with pytest.raises(ValueError):
+        dragonfly(1)
+
+
+def test_dragonfly_local_links_all_to_all():
+    topo = dragonfly(3, routers_per_group=4)
+    adjacency = topo.adjacency()
+    # Within group 0 (nodes 0-3) every pair is connected.
+    for r1 in range(4):
+        for r2 in range(r1 + 1, 4):
+            assert r2 in adjacency[r1]
+
+
+# ----------------------------------------- flattened butterfly
+
+def test_flattened_butterfly_node_count():
+    assert flattened_butterfly(4, 4).chiplet_count == 16
+
+
+def test_flattened_butterfly_connected():
+    assert flattened_butterfly(4, 4).is_connected()
+
+
+def test_flattened_butterfly_row_col_links():
+    topo = flattened_butterfly(3, 3)
+    adjacency = topo.adjacency()
+    # Node (0,0)=0 connects to row mates 1,2 and column mates 3,6.
+    assert set(adjacency[0]) == {1, 2, 3, 6}
+
+
+def test_flattened_butterfly_uniform_terminals():
+    topo = flattened_butterfly(4, 4)
+    externals = {n.external_ports for n in topo.nodes}
+    assert len(externals) == 1
+
+
+def test_flattened_butterfly_port_budget():
+    topo = flattened_butterfly(5, 5)
+    degrees = topo.channel_degrees()
+    for node in topo.nodes:
+        assert node.external_ports + degrees[node.index] <= node.chiplet.radix
+
+
+def test_flattened_butterfly_rejects_tiny():
+    with pytest.raises(ValueError):
+        flattened_butterfly(1, 4)
+
+
+def test_direct_topologies_lower_radix_per_chiplet_than_clos_leaf():
+    """Direct topologies spend more radix on fabric (paper's 1.7-3.2x)."""
+    df = dragonfly(14, routers_per_group=8)
+    ports_per_chiplet = df.radix / df.chiplet_count
+    assert ports_per_chiplet < tomahawk5().radix / 2

@@ -1,0 +1,81 @@
+"""Property-based tests over topology constructions (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tech.chiplet import tomahawk5
+from repro.topology.base import NodeRole
+from repro.topology.clos import folded_clos, heterogeneous_clos
+from repro.topology.dragonfly import dragonfly
+from repro.topology.flattened_butterfly import flattened_butterfly
+from repro.topology.mesh import direct_mesh
+
+clos_multiples = st.integers(min_value=1, max_value=16).map(lambda m: 256 * m)
+
+
+@given(clos_multiples)
+@settings(max_examples=20, deadline=None)
+def test_clos_invariants(n_ports):
+    topo = folded_clos(n_ports)
+    # Radix, chiplet count, and port budgets all follow the construction.
+    assert topo.radix == n_ports
+    assert topo.chiplet_count == 3 * n_ports // 256
+    degrees = topo.channel_degrees()
+    for node in topo.nodes:
+        used = node.external_ports + degrees.get(node.index, 0)
+        assert used <= node.chiplet.radix
+        if node.role is NodeRole.SPINE:
+            assert used == node.chiplet.radix  # spines exactly full
+    assert topo.is_connected()
+
+
+@given(clos_multiples, st.sampled_from([2, 4, 8]))
+@settings(max_examples=15, deadline=None)
+def test_hetero_clos_invariants(n_ports, split):
+    topo = heterogeneous_clos(n_ports, leaf_split=split)
+    assert topo.radix == n_ports
+    # Total uplink channels equal total external ports (full bisection).
+    uplinks = sum(link.channels for link in topo.links)
+    assert uplinks == n_ports
+    assert topo.is_connected()
+
+
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=2, max_value=8))
+@settings(max_examples=20, deadline=None)
+def test_mesh_invariants(rows, cols):
+    topo = direct_mesh(rows, cols)
+    assert topo.chiplet_count == rows * cols
+    assert len(topo.links) == rows * (cols - 1) + (rows - 1) * cols
+    assert topo.is_connected()
+    degrees = topo.channel_degrees()
+    for node in topo.nodes:
+        assert node.external_ports + degrees[node.index] == node.chiplet.radix
+
+
+@given(st.integers(min_value=2, max_value=17))
+@settings(max_examples=15, deadline=None)
+def test_dragonfly_invariants(groups):
+    topo = dragonfly(groups, routers_per_group=8)
+    assert topo.chiplet_count == groups * 8
+    assert topo.is_connected()
+    degrees = topo.channel_degrees()
+    for node in topo.nodes:
+        assert node.external_ports + degrees[node.index] <= node.chiplet.radix
+
+
+@given(st.integers(min_value=2, max_value=7), st.integers(min_value=2, max_value=7))
+@settings(max_examples=20, deadline=None)
+def test_flattened_butterfly_invariants(rows, cols):
+    topo = flattened_butterfly(rows, cols)
+    assert topo.chiplet_count == rows * cols
+    assert topo.is_connected()
+    # Every router connects to all row and column mates.
+    adjacency = topo.adjacency()
+    assert all(len(adjacency[n.index]) == (rows - 1) + (cols - 1) for n in topo.nodes)
+
+
+@given(clos_multiples)
+@settings(max_examples=10, deadline=None)
+def test_clos_bisection_is_half_uplinks(n_ports):
+    """An index-halving cut of a symmetric Clos crosses >= N/2 channels."""
+    topo = folded_clos(n_ports)
+    assert topo.bisection_channels() >= n_ports // 2
