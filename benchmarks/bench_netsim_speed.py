@@ -1,0 +1,149 @@
+"""Netsim throughput microbenchmark (cycles/sec, flits/sec).
+
+Tracks the simulator's own speed — the quantity every load sweep and
+trace replay multiplies — on fixed workloads:
+
+* ``mesh_8x8_uniform`` — the headline workload: 8x8 mesh, 2 terminals
+  per router, uniform Bernoulli traffic at 0.3 flits/cycle/terminal.
+* ``clos_256_uniform`` — a 256-terminal waferscale Clos at 0.3 load.
+* ``mesh_8x8_lowload`` — the same mesh at 0.02 load, where the
+  active-set scheduler should shine (most components idle).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_netsim_speed.py
+
+Writes ``BENCH_netsim.json`` next to the repo root with cycles/sec and
+flits/sec per workload, plus the speedup over
+``benchmarks/baselines/netsim_speed_baseline.json`` (recorded before
+the hot-path optimization).  Pass ``--update-baseline`` to overwrite
+that baseline (only meaningful on a pre-change tree or to re-anchor
+after intentional behaviour changes).
+
+Also collected by pytest as a quick smoke test (one tiny run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.netsim.config import RouterConfig
+from repro.netsim.mesh_network import mesh_network
+from repro.netsim.network import waferscale_clos_network
+from repro.netsim.packet import reset_packet_ids
+from repro.netsim.sim import Simulator
+from repro.netsim.traffic import make_pattern
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "baselines" / "netsim_speed_baseline.json"
+ARTIFACT_PATH = REPO_ROOT / "BENCH_netsim.json"
+
+
+def _mesh_8x8():
+    return mesh_network(
+        8,
+        8,
+        terminals_per_router=2,
+        neighbor_channels=2,
+        config=RouterConfig(num_vcs=4, buffer_flits_per_port=16),
+    )
+
+
+def _clos_256():
+    return waferscale_clos_network(256, 32, num_vcs=4, buffer_flits_per_port=16)
+
+
+#: name -> (network factory, load, warmup, measure)
+WORKLOADS = {
+    "mesh_8x8_uniform": (_mesh_8x8, 0.30, 200, 1200),
+    "clos_256_uniform": (_clos_256, 0.30, 200, 800),
+    "mesh_8x8_lowload": (_mesh_8x8, 0.02, 200, 1200),
+}
+
+
+def run_workload(name: str, repeats: int = 1) -> dict:
+    """Time one workload; report the best of ``repeats`` runs."""
+    factory, load, warmup, measure = WORKLOADS[name]
+    best = None
+    for _ in range(repeats):
+        reset_packet_ids()
+        network = factory()
+        pattern = make_pattern("uniform", network.n_terminals)
+        sim = Simulator(network, pattern, load, packet_size_flits=4, seed=7)
+        start = time.perf_counter()
+        stats = sim.run(
+            warmup_cycles=warmup, measure_cycles=measure, drain_cycles=1000
+        )
+        elapsed = time.perf_counter() - start
+        flits_moved = sum(r.flits_forwarded for r in network.routers)
+        result = {
+            "workload": name,
+            "cycles": network.cycle,
+            "wall_seconds": round(elapsed, 4),
+            "cycles_per_sec": round(network.cycle / elapsed, 1),
+            "flits_forwarded": flits_moved,
+            "flits_per_sec": round(flits_moved / elapsed, 1),
+            "packets_delivered": stats.packets_delivered,
+        }
+        if best is None or result["cycles_per_sec"] > best["cycles_per_sec"]:
+            best = result
+    return best
+
+
+def run_all(repeats: int = 2) -> dict:
+    results = {name: run_workload(name, repeats) for name in WORKLOADS}
+    report = {"workloads": results}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())["workloads"]
+        speedups = {}
+        for name, result in results.items():
+            if name in baseline:
+                speedups[name] = round(
+                    result["cycles_per_sec"] / baseline[name]["cycles_per_sec"], 2
+                )
+        report["speedup_vs_baseline"] = speedups
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="overwrite the stored pre-change baseline with this run",
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args()
+
+    report = run_all(repeats=args.repeats)
+    for name, result in report["workloads"].items():
+        line = (
+            f"{name}: {result['cycles_per_sec']:>10.0f} cycles/s  "
+            f"{result['flits_per_sec']:>10.0f} flits/s  "
+            f"({result['cycles']} cycles in {result['wall_seconds']}s)"
+        )
+        speedup = report.get("speedup_vs_baseline", {}).get(name)
+        if speedup is not None:
+            line += f"  {speedup}x vs baseline"
+        print(line)
+
+    ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {ARTIFACT_PATH}")
+    if args.update_baseline:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+
+
+def test_netsim_speed_smoke():
+    """One tiny timed run so the bench stays importable and runnable."""
+    result = run_workload("mesh_8x8_lowload", repeats=1)
+    assert result["cycles"] > 0
+    assert result["cycles_per_sec"] > 0
+
+
+if __name__ == "__main__":
+    main()

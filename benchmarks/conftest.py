@@ -15,6 +15,13 @@ import pytest
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
+def pytest_configure(config):
+    # Benchmark runs should always report where the time went; mirror
+    # an explicit `pytest --durations=20` unless the caller set one.
+    if not getattr(config.option, "durations", None):
+        config.option.durations = 20
+
+
 @pytest.fixture
 def run_experiment(benchmark):
     """Run an experiment once under the benchmark timer and print it."""

@@ -24,15 +24,24 @@ class RoundRobinArbiter:
         The winner becomes the lowest-priority index for the next
         arbitration (classic round-robin update).
         """
-        request_set = set(requests)
-        if not request_set:
+        # Scan the (usually short) request list rather than the whole
+        # index space: the winner minimises the cyclic distance from
+        # the pointer, which is exactly "first match at or after it".
+        pointer = self._pointer
+        size = self.size
+        best = -1
+        best_distance = size
+        for request in requests:
+            distance = request - pointer
+            if distance < 0:
+                distance += size
+            if distance < best_distance:
+                best_distance = distance
+                best = request
+        if best < 0:
             return None
-        for offset in range(self.size):
-            candidate = (self._pointer + offset) % self.size
-            if candidate in request_set:
-                self._pointer = (candidate + 1) % self.size
-                return candidate
-        return None
+        self._pointer = best + 1 if best + 1 < size else 0
+        return best
 
 
 def rotate_from(items: List[T], start: int) -> List[T]:

@@ -3,9 +3,18 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.netsim.packet import Flit
+
+
+def schedule_event(events: Dict[int, list], arrival: int, key: int) -> None:
+    """Add ``key`` to the calendar bucket for cycle ``arrival``."""
+    bucket = events.get(arrival)
+    if bucket is None:
+        events[arrival] = [key]
+    else:
+        bucket.append(key)
 
 
 class Link:
@@ -14,25 +23,45 @@ class Link:
     The paired credit channel (for the upstream router's flow control)
     has the same latency, so the round-trip time seen by the buffer
     sizing experiments is ``2 x latency + pipeline``.
+
+    When registered with a :class:`~repro.netsim.network.NetworkModel`,
+    the link schedules itself on the network's event calendar (a dict
+    of ``cycle -> [link keys]`` buckets) whenever it goes from empty to
+    occupied, so idle links cost nothing per cycle (the active-set
+    scheduler). Per-link arrival times are monotonic — ``latency`` is
+    fixed and ``extra_delay`` is constant per sender — so the queue
+    head is always the earliest arrival.
     """
 
-    __slots__ = ("latency", "_in_flight")
+    __slots__ = ("latency", "_in_flight", "_events", "_event_key")
 
     def __init__(self, latency: int):
         if latency < 1:
             raise ValueError("link latency must be >= 1 cycle")
         self.latency = latency
         self._in_flight: Deque[Tuple[int, Flit]] = deque()
+        self._events: Optional[Dict[int, list]] = None
+        self._event_key = -1
+
+    def watch(self, events: Dict[int, list], key: int) -> None:
+        """Register with an event calendar under ``key`` (wiring)."""
+        self._events = events
+        self._event_key = key
 
     def send(self, flit: Flit, now: int, extra_delay: int = 0) -> None:
         """Inject a flit; it arrives at ``now + latency + extra_delay``."""
-        self._in_flight.append((now + self.latency + extra_delay, flit))
+        arrival = now + self.latency + extra_delay
+        queue = self._in_flight
+        if not queue and self._events is not None:
+            schedule_event(self._events, arrival, self._event_key)
+        queue.append((arrival, flit))
 
     def deliver(self, now: int) -> List[Flit]:
         """Pop every flit whose arrival cycle has come."""
         arrived: List[Flit] = []
-        while self._in_flight and self._in_flight[0][0] <= now:
-            arrived.append(self._in_flight.popleft()[1])
+        queue = self._in_flight
+        while queue and queue[0][0] <= now:
+            arrived.append(queue.popleft()[1])
         return arrived
 
     @property
@@ -41,21 +70,38 @@ class Link:
 
 
 class CreditChannel:
-    """Returns buffer credits upstream with a fixed latency."""
+    """Returns buffer credits upstream with a fixed latency.
 
-    __slots__ = ("latency", "_in_flight")
+    Registers on an event calendar exactly like :class:`Link` so
+    credits in flight wake only their consumer, not every channel
+    every cycle.
+    """
+
+    __slots__ = ("latency", "_in_flight", "_events", "_event_key")
 
     def __init__(self, latency: int):
         if latency < 1:
             raise ValueError("credit latency must be >= 1 cycle")
         self.latency = latency
         self._in_flight: Deque[Tuple[int, int]] = deque()
+        self._events: Optional[Dict[int, list]] = None
+        self._event_key = -1
+
+    def watch(self, events: Dict[int, list], key: int) -> None:
+        """Register with an event calendar under ``key`` (wiring)."""
+        self._events = events
+        self._event_key = key
 
     def send(self, count: int, now: int) -> None:
-        self._in_flight.append((now + self.latency, count))
+        arrival = now + self.latency
+        queue = self._in_flight
+        if not queue and self._events is not None:
+            schedule_event(self._events, arrival, self._event_key)
+        queue.append((arrival, count))
 
     def deliver(self, now: int) -> int:
         total = 0
-        while self._in_flight and self._in_flight[0][0] <= now:
-            total += self._in_flight.popleft()[1]
+        queue = self._in_flight
+        while queue and queue[0][0] <= now:
+            total += queue.popleft()[1]
         return total

@@ -59,19 +59,33 @@ def mesh_network(
     def router_index(r: int, c: int) -> int:
         return r * cols + c
 
+    # XY routing is deterministic per (router, destination) up to the
+    # packet-id channel spread: cache the decision per router as
+    # ``dst -> local port`` (>= 0) or ``dst -> -(direction start) - 1``
+    # for remote hops, filled lazily so large meshes pay only for the
+    # destinations they actually see.
+    route_tables: Tuple[dict, ...] = tuple({} for _ in range(rows * cols))
+
     def route(router: Router, in_port: int, flit: Flit) -> int:
-        dst_router, dst_local = divmod(flit.dst, terminals_per_router)
-        my_r, my_c = divmod(router.router_id, cols)
-        dst_r, dst_c = divmod(dst_router, cols)
-        if (my_r, my_c) == (dst_r, dst_c):
-            return dst_local
-        channel = flit.packet.packet_id % neighbor_channels
-        if my_c != dst_c:  # X first
-            direction = EAST if dst_c > my_c else WEST
-        else:
-            direction = SOUTH if dst_r > my_r else NORTH
-        start, _ = neighbor_ports(direction)
-        return start + channel
+        dst = flit.dst
+        table = route_tables[router.router_id]
+        entry = table.get(dst)
+        if entry is None:
+            dst_router, dst_local = divmod(dst, terminals_per_router)
+            my_r, my_c = divmod(router.router_id, cols)
+            dst_r, dst_c = divmod(dst_router, cols)
+            if (my_r, my_c) == (dst_r, dst_c):
+                entry = dst_local
+            else:
+                if my_c != dst_c:  # X first
+                    direction = EAST if dst_c > my_c else WEST
+                else:
+                    direction = SOUTH if dst_r > my_r else NORTH
+                entry = -neighbor_ports(direction)[0] - 1
+            table[dst] = entry
+        if entry >= 0:
+            return entry
+        return -entry - 1 + flit.packet.packet_id % neighbor_channels
 
     routers = [
         Router(router_index(r, c), n_ports, config, route)

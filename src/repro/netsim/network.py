@@ -17,7 +17,7 @@ Host-to-switch I/O delay is 8 cycles for both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.netsim.config import RouterConfig
 from repro.netsim.link import CreditChannel, Link
@@ -28,49 +28,119 @@ from repro.netsim.terminal import Terminal
 
 @dataclass
 class NetworkModel:
-    """A wired network of routers and terminals plus its cycle driver."""
+    """A wired network of routers and terminals plus its cycle driver.
+
+    ``step`` is driven by an active-set scheduler: links and credit
+    channels sit on event calendars (dicts of ``cycle -> [indices]``
+    buckets) keyed by their next arrival cycle, so idle channels are
+    never touched, idle terminals are skipped, and a router's
+    allocation stages only run when it has pending work. The
+    cycle-by-cycle behaviour is identical to stepping every component
+    (``tests/netsim/test_golden_parity.py`` holds it to that).
+    """
 
     name: str
     routers: List[Router]
     terminals: List[Terminal]
     links: List[tuple] = field(default_factory=list)  # (link, sink_kind, sink, port)
     cycle: int = 0
+    #: arrival cycle -> [index into ``links``] — flits in flight.
+    _link_events: Dict[int, list] = field(default_factory=dict, repr=False)
+    #: arrival cycle -> [index into ``_credit_sinks``].
+    _credit_events: Dict[int, list] = field(default_factory=dict, repr=False)
+    #: (channel, consuming router, out port) per registered channel.
+    _credit_sinks: List[tuple] = field(default_factory=list, repr=False)
+    #: Bound ``receive_flit`` per link (None for terminal sinks).
+    _link_handlers: List[Optional[Callable]] = field(
+        default_factory=list, repr=False
+    )
 
     @property
     def n_terminals(self) -> int:
         return len(self.terminals)
 
+    def add_link(self, link: Link, sink_kind: str, sink, port: int) -> None:
+        """Register a flit link and its sink with the event scheduler."""
+        link.watch(self._link_events, len(self.links))
+        self.links.append((link, sink_kind, sink, port))
+        # Router delivery is bound once here; terminal delivery stays a
+        # live attribute lookup (tests spy on ``Terminal.receive``).
+        self._link_handlers.append(
+            sink.receive_flit if sink_kind == "router" else None
+        )
+
+    def add_credit_channel(
+        self, channel: CreditChannel, router: Router, port: int
+    ) -> None:
+        """Register a router-bound credit channel with the scheduler."""
+        channel.watch(self._credit_events, len(self._credit_sinks))
+        self._credit_sinks.append((channel, router, port))
+
     def step(self) -> None:
         """Advance the whole network by one cycle."""
         now = self.cycle
-        # 1. Deliver flits whose link latency has elapsed.
-        for link, sink_kind, sink, port in self.links:
-            arrived = link.deliver(now)
-            if not arrived:
-                continue
-            if sink_kind == "router":
-                for flit in arrived:
-                    sink.receive_flit(port, flit, now)
-            else:
-                for flit in arrived:
-                    sink.receive(flit, now)
+        # 1. Deliver flits whose link latency has elapsed. Every send
+        # lands strictly in the future and step visits every cycle, so
+        # popping exactly the ``now`` bucket never misses an arrival.
+        bucket = self._link_events.pop(now, None)
+        if bucket is not None:
+            links = self.links
+            handlers = self._link_handlers
+            link_events = self._link_events
+            for index in bucket:
+                link, _, sink, port = links[index]
+                pending = link._in_flight
+                handler = handlers[index]
+                if handler is not None:
+                    while pending and pending[0][0] <= now:
+                        handler(port, pending.popleft()[1], now)
+                else:
+                    while pending and pending[0][0] <= now:
+                        sink.receive(pending.popleft()[1], now)
+                if pending:
+                    arrival = pending[0][0]
+                    tail = link_events.get(arrival)
+                    if tail is None:
+                        link_events[arrival] = [index]
+                    else:
+                        tail.append(index)
         # 2. Credits return; terminals inject.
-        for router in self.routers:
-            router.collect_credits(now)
+        bucket = self._credit_events.pop(now, None)
+        if bucket is not None:
+            sinks = self._credit_sinks
+            credit_events = self._credit_events
+            for index in bucket:
+                channel, router, port = sinks[index]
+                pending = channel._in_flight
+                total = 0
+                while pending and pending[0][0] <= now:
+                    total += pending.popleft()[1]
+                router.out_credits[port] += total
+                if pending:
+                    arrival = pending[0][0]
+                    tail = credit_events.get(arrival)
+                    if tail is None:
+                        credit_events[arrival] = [index]
+                    else:
+                        tail.append(index)
         for terminal in self.terminals:
-            terminal.inject(now)
-        # 3. Router pipelines.
+            # Idle terminals (empty source queue) have nothing to do;
+            # their credit returns are absorbed lazily on next use.
+            if terminal.source_queue:
+                terminal.inject(now)
+        # 3. Router pipelines (only where work is pending).
         for router in self.routers:
-            router.vc_allocate(now)
-        for router in self.routers:
-            router.switch_allocate(now)
+            if router.rc_pending:
+                router.vc_allocate(now)
+            if router.active_out_ports:
+                router.switch_allocate(now)
         self.cycle += 1
 
     def in_flight_flits(self) -> int:
         """Flits buffered in routers or on the wire (drain detection)."""
-        buffered = sum(router.buffered_flits() for router in self.routers)
-        on_wire = sum(link.occupancy for link, _, _, _ in self.links)
-        backlog = sum(t.backlog_flits for t in self.terminals)
+        buffered = sum(router._buffered_total for router in self.routers)
+        on_wire = sum(len(link._in_flight) for link, _, _, _ in self.links)
+        backlog = sum(len(t.source_queue) for t in self.terminals)
         return buffered + on_wire + backlog
 
 
@@ -138,22 +208,24 @@ def _clos_route(
     cpp = shape.channels_per_pair
     spines = shape.n_spines
     leaves = shape.n_leaves
+    adaptive = spine_selection == "adaptive"
+    # The (leaf, local) split of every destination is fixed by the
+    # shape; precompute it once instead of divmod-ing per RC.
+    dst_leaf_of = [dst // down for dst in range(shape.n_terminals)]
+    dst_local_of = [dst % down for dst in range(shape.n_terminals)]
+    uplinks = range(down, down + spines * cpp)
 
     def route(router: Router, in_port: int, flit: Flit) -> int:
         dst = flit.dst
-        dst_leaf, dst_local = divmod(dst, down)
         if router.router_id < leaves:
-            if router.router_id == dst_leaf:
-                return dst_local
-            if spine_selection == "adaptive":
-                uplinks = range(down, down + spines * cpp)
+            if router.router_id == dst_leaf_of[dst]:
+                return dst_local_of[dst]
+            if adaptive:
                 return max(uplinks, key=lambda p: router.out_credits[p])
-            spine = flit.packet.packet_id % spines
-            channel = (flit.packet.packet_id // spines) % cpp
-            return down + spine * cpp + channel
+            packet_id = flit.packet.packet_id
+            return down + (packet_id % spines) * cpp + (packet_id // spines) % cpp
         # Spine router: ids are offset by the leaf count.
-        channel = flit.packet.packet_id % cpp
-        return dst_leaf * cpp + channel
+        return dst_leaf_of[dst] * cpp + flit.packet.packet_id % cpp
 
     return route
 
@@ -177,7 +249,8 @@ def _wire(
         is_terminal=False,
     )
     dst_router.attach_input(dst_port, credits, from_terminal=False)
-    network.links.append((link, "router", dst_router, dst_port))
+    network.add_link(link, "router", dst_router, dst_port)
+    network.add_credit_channel(credits, src_router, src_port)
 
 
 def _wire_terminal(
@@ -194,13 +267,13 @@ def _wire_terminal(
         inject, inject_credits, initial_credits=router.config.buffer_flits_per_port
     )
     router.attach_input(port, inject_credits, from_terminal=True)
-    network.links.append((inject, "router", router, port))
+    network.add_link(inject, "router", router, port)
 
     eject = Link(latency)
     router.attach_output(
         port, eject, None, downstream_capacity=0, is_terminal=True
     )
-    network.links.append((eject, "terminal", terminal, port))
+    network.add_link(eject, "terminal", terminal, port)
 
 
 def clos_network(

@@ -19,6 +19,13 @@ Flow control is credit-based over a per-port shared buffer pool (the
 paper's shared buffer policy): the upstream node may only send while
 the downstream port's pool has free slots; a credit returns (with link
 latency) whenever a flit leaves the pool.
+
+Hot-path notes: the per-cycle driver only calls ``vc_allocate`` /
+``switch_allocate`` when the router has work (``rc_pending`` /
+``active_out_ports`` non-empty — the active-set scheduler), both
+arbitration loops are inlined over the actual candidates instead of
+scanning the full index space, and the router caches its config
+scalars to avoid dataclass attribute lookups per cycle.
 """
 
 from __future__ import annotations
@@ -42,6 +49,40 @@ RouteFn = Callable[["Router", int, Flit], int]
 class Router:
     """One sub-switch chiplet (or switch box) in the simulated network."""
 
+    __slots__ = (
+        "router_id",
+        "n_ports",
+        "config",
+        "route_fn",
+        "ingress_routing_delay",
+        "num_vcs",
+        "buffer_cap",
+        "routing_delay",
+        "pipeline_delay",
+        "queues",
+        "occupancy",
+        "ivc_state",
+        "rc_ready",
+        "ivc_out_port",
+        "ivc_out_vc",
+        "rc_pending",
+        "in_credit_channel",
+        "terminal_in_ports",
+        "out_link",
+        "out_is_terminal",
+        "ovc_owner",
+        "out_credits",
+        "out_credit_channel",
+        "sa_candidates",
+        "active_out_ports",
+        "_sa_arbiters",
+        "_vc_arbiters",
+        "_used_stamp",
+        "_used_generation",
+        "_buffered_total",
+        "flits_forwarded",
+    )
+
     def __init__(
         self,
         router_id: int,
@@ -63,6 +104,11 @@ class Router:
             if ingress_routing_delay is None
             else ingress_routing_delay
         )
+        # Cached config scalars (dataclass attribute access is slow).
+        self.num_vcs = config.num_vcs
+        self.buffer_cap = config.buffer_flits_per_port
+        self.routing_delay = config.routing_delay
+        self.pipeline_delay = config.pipeline_delay
 
         vcs = config.num_vcs
         # Input side.
@@ -89,12 +135,19 @@ class Router:
         self.sa_candidates: List[Set[Tuple[int, int]]] = [
             set() for _ in range(n_ports)
         ]
+        #: Output ports with at least one SA candidate (active set).
+        self.active_out_ports: Set[int] = set()
         self._sa_arbiters = [
             RoundRobinArbiter(n_ports * vcs) for _ in range(n_ports)
         ]
         self._vc_arbiters = [RoundRobinArbiter(vcs) for _ in range(n_ports)]
+        # One-grant-per-input-port lock, generation-stamped so no set
+        # is allocated per switch_allocate call.
+        self._used_stamp = [0] * n_ports
+        self._used_generation = 0
 
         # Statistics.
+        self._buffered_total = 0
         self.flits_forwarded = 0
 
     # ------------------------------------------------------------------
@@ -127,8 +180,10 @@ class Router:
 
     def receive_flit(self, port: int, flit: Flit, now: int) -> None:
         """Accept a flit from the input link into the shared buffer."""
-        self.occupancy[port] += 1
-        if self.occupancy[port] > self.config.buffer_flits_per_port:
+        occupancy = self.occupancy
+        occupancy[port] += 1
+        self._buffered_total += 1
+        if occupancy[port] > self.buffer_cap:
             raise AssertionError(
                 f"router {self.router_id} port {port}: buffer overflow "
                 "(credit protocol violated)"
@@ -136,116 +191,201 @@ class Router:
         vc = flit.vc
         queue = self.queues[port][vc]
         queue.append(flit)
-        state = self.ivc_state[port][vc]
-        if state == IDLE and len(queue) == 1:
-            if not flit.is_head:
-                raise AssertionError("body flit reached an idle VC front")
-            self._start_route(port, vc, now)
-        elif state == ACTIVE and len(queue) == 1:
-            self.sa_candidates[self.ivc_out_port[port][vc]].add((port, vc))
+        if len(queue) == 1:
+            state = self.ivc_state[port][vc]
+            if state == IDLE:
+                if not flit.is_head:
+                    raise AssertionError("body flit reached an idle VC front")
+                self._start_route(port, vc, now)
+            elif state == ACTIVE:
+                out_port = self.ivc_out_port[port][vc]
+                self.sa_candidates[out_port].add((port, vc))
+                self.active_out_ports.add(out_port)
 
     def _start_route(self, port: int, vc: int, now: int) -> None:
         delay = (
             self.ingress_routing_delay
             if port in self.terminal_in_ports
-            else self.config.routing_delay
+            else self.routing_delay
         )
         self.ivc_state[port][vc] = ROUTE
         self.rc_ready[port][vc] = now + delay
         self.rc_pending.add((port, vc))
 
     def collect_credits(self, now: int) -> None:
-        """Absorb credits returned by downstream ports."""
+        """Absorb credits returned by downstream ports.
+
+        Only used when the router is driven standalone (unit tests);
+        inside a :class:`~repro.netsim.network.NetworkModel` the
+        network's credit event heap delivers credits directly.
+        """
+        out_credits = self.out_credits
         for port in range(self.n_ports):
             channel = self.out_credit_channel[port]
             if channel is not None:
-                self.out_credits[port] += channel.deliver(now)
+                pending = channel._in_flight
+                if pending and pending[0][0] <= now:
+                    out_credits[port] += channel.deliver(now)
 
     def vc_allocate(self, now: int) -> None:
         """RC completion + VC allocation for waiting head flits."""
-        if not self.rc_pending:
+        pending = self.rc_pending
+        if not pending:
             return
+        queues = self.queues
+        rc_ready = self.rc_ready
+        ivc_out_port = self.ivc_out_port
         granted = []
-        for port, vc in sorted(self.rc_pending):
-            if now < self.rc_ready[port][vc]:
+        for key in sorted(pending) if len(pending) > 1 else tuple(pending):
+            port, vc = key
+            if now < rc_ready[port][vc]:
                 continue
-            out_port = self.ivc_out_port[port][vc]
+            out_port = ivc_out_port[port][vc]
             if out_port < 0:
-                head = self.queues[port][vc][0]
+                head = queues[port][vc][0]
                 out_port = self.route_fn(self, port, head)
                 if not 0 <= out_port < self.n_ports:
                     raise AssertionError(
                         f"route function returned invalid port {out_port}"
                     )
-                self.ivc_out_port[port][vc] = out_port
+                ivc_out_port[port][vc] = out_port
             if self.out_is_terminal[out_port]:
                 out_vc = 0
             else:
                 owners = self.ovc_owner[out_port]
-                free = [v for v in range(self.config.num_vcs) if owners[v] is None]
-                out_vc = self._vc_arbiters[out_port].pick(free)
-                if out_vc is None:
+                arbiter = self._vc_arbiters[out_port]
+                vcs = arbiter.size
+                pointer = arbiter._pointer
+                out_vc = -1
+                for offset in range(vcs):
+                    candidate = pointer + offset
+                    if candidate >= vcs:
+                        candidate -= vcs
+                    if owners[candidate] is None:
+                        out_vc = candidate
+                        break
+                if out_vc < 0:
                     continue  # try again next cycle
-                owners[out_vc] = (port, vc)
+                arbiter._pointer = out_vc + 1 if out_vc + 1 < vcs else 0
+                owners[out_vc] = key
             self.ivc_out_vc[port][vc] = out_vc
             self.ivc_state[port][vc] = ACTIVE
-            if self.queues[port][vc]:
-                self.sa_candidates[out_port].add((port, vc))
-            granted.append((port, vc))
+            if queues[port][vc]:
+                self.sa_candidates[out_port].add(key)
+                self.active_out_ports.add(out_port)
+            granted.append(key)
         for key in granted:
-            self.rc_pending.discard(key)
+            pending.discard(key)
 
     def switch_allocate(self, now: int) -> None:
-        """SA + ST: move at most one flit per output (and input) port."""
-        vcs = self.config.num_vcs
-        used_inputs: Set[int] = set()
-        for out_port in range(self.n_ports):
-            candidates = self.sa_candidates[out_port]
+        """SA + ST: move at most one flit per output (and input) port.
+
+        Switch traversal (the old ``_forward``) is inlined in the grant
+        branch, including the winning flit's link send and the credit
+        return — this is the single hottest loop in the simulator.
+        """
+        active = self.active_out_ports
+        if not active:
+            return
+        vcs = self.num_vcs
+        queues = self.queues
+        occupancy = self.occupancy
+        out_credits = self.out_credits
+        out_is_terminal = self.out_is_terminal
+        sa_candidates = self.sa_candidates
+        pipeline_delay = self.pipeline_delay
+        used_stamp = self._used_stamp
+        generation = self._used_generation + 1
+        self._used_generation = generation
+        # sorted() both preserves the original ascending port order and
+        # snapshots the set (the grant branch prunes it mid-loop).
+        ordered = sorted(active) if len(active) > 1 else tuple(active)
+        for out_port in ordered:
+            candidates = sa_candidates[out_port]
             if not candidates:
                 continue
-            if not self.out_is_terminal[out_port] and self.out_credits[out_port] <= 0:
+            is_terminal = out_is_terminal[out_port]
+            if not is_terminal and out_credits[out_port] <= 0:
                 continue
-            requests = [
-                port * vcs + vc
-                for (port, vc) in candidates
-                if port not in used_inputs and self.queues[port][vc]
-            ]
-            winner = self._sa_arbiters[out_port].pick(requests)
-            if winner is None:
+            arbiter = self._sa_arbiters[out_port]
+            size = arbiter.size
+            pointer = arbiter._pointer
+            best = -1
+            best_distance = size
+            for port, vc in candidates:
+                if used_stamp[port] == generation or not queues[port][vc]:
+                    continue
+                request = port * vcs + vc
+                distance = request - pointer
+                if distance < 0:
+                    distance += size
+                if distance < best_distance:
+                    best_distance = distance
+                    best = request
+            if best < 0:
                 continue
-            port, vc = divmod(winner, vcs)
-            used_inputs.add(port)
-            self._forward(port, vc, out_port, now)
+            arbiter._pointer = best + 1 if best + 1 < size else 0
+            port = best // vcs
+            vc = best - port * vcs
+            used_stamp[port] = generation
 
-    def _forward(self, port: int, vc: int, out_port: int, now: int) -> None:
-        flit = self.queues[port][vc].popleft()
-        self.occupancy[port] -= 1
-        self.flits_forwarded += 1
-        upstream = self.in_credit_channel[port]
-        if upstream is not None:
-            upstream.send(1, now)
-        flit.vc = self.ivc_out_vc[port][vc]
-        if not self.out_is_terminal[out_port]:
-            self.out_credits[out_port] -= 1
-        link = self.out_link[out_port]
-        if link is None:
-            raise AssertionError(f"output port {out_port} is not wired")
-        link.send(flit, now, extra_delay=self.config.pipeline_delay)
+            # --- switch traversal (inlined flit forward) ---
+            queue = queues[port][vc]
+            flit = queue.popleft()
+            occupancy[port] -= 1
+            self._buffered_total -= 1
+            self.flits_forwarded += 1
+            upstream = self.in_credit_channel[port]
+            if upstream is not None:
+                # Inlined CreditChannel.send(1, now).
+                pending = upstream._in_flight
+                credit_arrival = now + upstream.latency
+                events = upstream._events
+                if not pending and events is not None:
+                    bucket = events.get(credit_arrival)
+                    if bucket is None:
+                        events[credit_arrival] = [upstream._event_key]
+                    else:
+                        bucket.append(upstream._event_key)
+                pending.append((credit_arrival, 1))
+            out_vc = self.ivc_out_vc[port][vc]
+            flit.vc = out_vc
+            if not is_terminal:
+                out_credits[out_port] -= 1
+            link = self.out_link[out_port]
+            if link is None:
+                raise AssertionError(f"output port {out_port} is not wired")
+            # Inlined Link.send(flit, now, extra_delay=pipeline_delay).
+            arrival = now + link.latency + pipeline_delay
+            in_flight = link._in_flight
+            if not in_flight:
+                events = link._events
+                if events is not None:
+                    bucket = events.get(arrival)
+                    if bucket is None:
+                        events[arrival] = [link._event_key]
+                    else:
+                        bucket.append(link._event_key)
+            in_flight.append((arrival, flit))
 
-        if flit.is_tail:
-            if not self.out_is_terminal[out_port]:
-                self.ovc_owner[out_port][flit.vc] = None
-            self.ivc_state[port][vc] = IDLE
-            self.ivc_out_port[port][vc] = -1
-            self.ivc_out_vc[port][vc] = -1
-            self.sa_candidates[out_port].discard((port, vc))
-            if self.queues[port][vc]:
-                # The next packet's head is now at the queue front.
-                self._start_route(port, vc, now)
-        elif not self.queues[port][vc]:
-            # Body flits still in flight upstream; pause SA requests.
-            self.sa_candidates[out_port].discard((port, vc))
+            if flit.is_tail:
+                if not is_terminal:
+                    self.ovc_owner[out_port][out_vc] = None
+                self.ivc_state[port][vc] = IDLE
+                self.ivc_out_port[port][vc] = -1
+                self.ivc_out_vc[port][vc] = -1
+                candidates.discard((port, vc))
+                if not candidates:
+                    active.discard(out_port)
+                if queue:
+                    # The next packet's head is now at the queue front.
+                    self._start_route(port, vc, now)
+            elif not queue:
+                # Body flits still in flight upstream; pause SA requests.
+                candidates.discard((port, vc))
+                if not candidates:
+                    active.discard(out_port)
 
     def buffered_flits(self) -> int:
         """Total flits currently buffered (drain detection)."""
-        return sum(self.occupancy)
+        return self._buffered_total

@@ -44,17 +44,24 @@ class Terminal:
         self.source_queue.extend(flits_of(packet))
 
     def inject(self, now: int) -> None:
-        """Send at most one flit into the router this cycle."""
-        if self.credit_channel is not None:
-            self.credits += self.credit_channel.deliver(now)
-        if not self.source_queue or self.credits <= 0:
+        """Send at most one flit into the router this cycle.
+
+        Credit returns are absorbed lazily here rather than polled
+        every cycle: the cumulative credit count at decision time is
+        identical, and it lets the network skip idle terminals
+        entirely (the active-set scheduler).
+        """
+        queue = self.source_queue
+        channel = self.credit_channel
+        if channel is not None and channel._in_flight:
+            self.credits += channel.deliver(now)
+        if not queue or self.credits <= 0:
             return
-        flit = self.source_queue[0]
+        flit = queue.popleft()
         if flit.is_head:
             # A whole packet rides one VC; rotate across packets.
             self._next_vc = (self._next_vc + 1) % self.num_vcs
             flit.packet.inject_cycle = now
-        self.source_queue.popleft()
         flit.vc = self._next_vc
         self.credits -= 1
         self.flits_sent += 1

@@ -6,6 +6,10 @@ from repro.core.deradix import best_deradix_factor, deradix_sweep
 from repro.tech.external_io import OPTICAL_IO
 from repro.tech.wsi import SI_IF, SI_IF_OVERDRIVEN
 
+# Everything touching deradix_sweep pays for full design-space sweeps
+# (the shared fixture alone takes ~30 s); those tests are slow tier.
+slow_sweep = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def sweep_3200_200mm():
@@ -14,27 +18,32 @@ def sweep_3200_200mm():
     )
 
 
+@slow_sweep
 def test_sweep_covers_factors(sweep_3200_200mm):
     assert set(sweep_3200_200mm) == {1, 2, 4}
 
 
+@slow_sweep
 def test_factor_radixes(sweep_3200_200mm):
     assert sweep_3200_200mm[1].ssc_radix == 256
     assert sweep_3200_200mm[2].ssc_radix == 128
     assert sweep_3200_200mm[4].ssc_radix == 64
 
 
+@slow_sweep
 def test_deradix2_matches_baseline_at_200mm_3200(sweep_3200_200mm):
     """At 200 mm @3200 both 256- and 128-port SSCs reach 2048 ports."""
     assert sweep_3200_200mm[1].max_ports == 2048
     assert sweep_3200_200mm[2].max_ports == 2048
 
 
+@slow_sweep
 def test_excess_deradix_regresses(sweep_3200_200mm):
     """Fig 17: quartering the radix wastes area and loses ports."""
     assert sweep_3200_200mm[4].max_ports < sweep_3200_200mm[1].max_ports
 
 
+@slow_sweep
 def test_deradix_harmful_at_6400():
     """Fig 18: with sufficient internal bandwidth deradixing only hurts."""
     sweep = deradix_sweep(
@@ -44,6 +53,7 @@ def test_deradix_harmful_at_6400():
     assert sweep[2].max_ports < sweep[1].max_ports
 
 
+@slow_sweep
 def test_best_factor_prefers_less_deradixing_on_tie(sweep_3200_200mm):
     assert best_deradix_factor(sweep_3200_200mm) == 1
 

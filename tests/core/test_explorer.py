@@ -47,6 +47,7 @@ def test_serdes_limits_fig7():
     assert d200.n_ports == 512
 
 
+@pytest.mark.slow
 def test_optical_3200_internal_bound_fig7():
     """Fig 7: Optical @3200 reaches 1024 at 100 mm, 2048 at 200 mm."""
     d100 = max_feasible_design(100.0, wsi=SI_IF, external_io=OPTICAL_IO)
@@ -55,6 +56,7 @@ def test_optical_3200_internal_bound_fig7():
     assert d200.n_ports == 2048
 
 
+@pytest.mark.slow
 def test_optical_6400_fig9():
     """Fig 9: doubling internal bandwidth doubles the 200 mm radix."""
     d200 = max_feasible_design(
@@ -97,6 +99,7 @@ def test_mesh_ideal_exceeds_clos_ideal():
     assert mesh.n_ports > ideal_max_ports(200.0)
 
 
+@pytest.mark.slow
 def test_direct_topologies_trail_clos_when_constrained():
     """Section VII: flattened butterfly trails Clos once constrained."""
     clos = max_feasible_design(200.0, wsi=SI_IF, external_io=OPTICAL_IO)

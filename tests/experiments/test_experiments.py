@@ -8,8 +8,20 @@ from repro.experiments.base import EXPERIMENT_IDS, get_experiment
 #: quick `-m "not slow"` pass can skip them.
 SIM_EXPERIMENTS = {"fig21", "fig22", "fig23", "fig24"}
 
+#: Analytical experiments that run full design-space sweeps; slow tier.
+SLOW_ANALYTICAL = {"fig17", "fig18", "fig25"}
 
-@pytest.mark.parametrize("experiment_id", [e for e in EXPERIMENT_IDS if e not in SIM_EXPERIMENTS])
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    [
+        pytest.param(
+            e, marks=[pytest.mark.slow] if e in SLOW_ANALYTICAL else []
+        )
+        for e in EXPERIMENT_IDS
+        if e not in SIM_EXPERIMENTS
+    ],
+)
 def test_analytical_experiment_runs(experiment_id):
     result = get_experiment(experiment_id)(fast=True)
     assert result.experiment_id == experiment_id
@@ -19,6 +31,7 @@ def test_analytical_experiment_runs(experiment_id):
     assert experiment_id in table
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("experiment_id", sorted(SIM_EXPERIMENTS))
 def test_simulation_experiment_runs(experiment_id):
     result = get_experiment(experiment_id)(fast=True)

@@ -19,6 +19,7 @@ def test_abstract_32x_area_only_radix():
     assert ideal_max_ports(300.0) == 32 * 256
 
 
+@pytest.mark.slow
 def test_abstract_4x_radix_from_higher_internal_bandwidth():
     """Abstract/Fig 9: doubling internal I/O bandwidth raises the 300 mm
     radix 4x (2048 -> 8192)."""
@@ -44,6 +45,7 @@ def test_optical_and_area_io_up_to_4x_serdes():
     assert area.n_ports == 4 * serdes.n_ports
 
 
+@pytest.mark.slow
 def test_62kw_at_8192_ports():
     """Fig 11: the 8192-port switch draws ~62 kW with a 33-43.8% I/O share."""
     design = max_feasible_design(
@@ -53,6 +55,7 @@ def test_62kw_at_8192_ports():
     assert 0.33 <= design.power.io_fraction <= 0.438
 
 
+@pytest.mark.slow
 def test_power_density_069_to_048():
     """Fig 16: heterogeneity drops 300 mm density from ~0.69 to ~0.48
     W/mm2, into the water-cooling envelope."""
@@ -65,6 +68,7 @@ def test_power_density_069_to_048():
     assert hetero.cooling.name == "Water"
 
 
+@pytest.mark.slow
 def test_hetero_reduction_30_8_to_33_5():
     """Abstract: heterogeneous design reduces power by 30.8%-33.5%."""
     reductions = []
@@ -78,6 +82,7 @@ def test_hetero_reduction_30_8_to_33_5():
     assert max(reductions) == pytest.approx(0.335, abs=0.03)
 
 
+@pytest.mark.slow
 def test_deradixing_doubles_radix_at_300mm():
     """Abstract/Fig 17: deradixing increases overall radix by 2x."""
     from repro.core.deradix import deradix_sweep
@@ -86,6 +91,7 @@ def test_deradixing_doubles_radix_at_300mm():
     assert sweep[2].max_ports == 2 * sweep[1].max_ports
 
 
+@pytest.mark.slow
 def test_info_sow_same_ports_higher_power():
     """Figs 12-13: InFO-SoW matches 6400 Si-IF ports but burns more."""
     si = max_feasible_design(300.0, wsi=SI_IF_OVERDRIVEN, external_io=OPTICAL_IO)

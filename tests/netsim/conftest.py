@@ -1,0 +1,35 @@
+"""Netsim test fixtures: fast-tier simulation budgets.
+
+The fast tier (``pytest -m "not slow"``) must finish in well under a
+minute, so when slow tests are deselected the *default* warmup /
+measure / drain budgets of :meth:`Simulator.run` shrink for the whole
+session. Tests that pass explicit cycle counts (every current netsim
+test, including the golden-parity harness) are unaffected; the shrink
+only guards against a future default-budget ``run()`` call dragging
+the fast tier past its budget. The full suite keeps the original
+Booksim-style depths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.sim import Simulator
+
+#: Fast-tier (warmup, measure, drain) default cycle budgets.
+FAST_RUN_DEFAULTS = (250, 500, 750)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fast_tier_sim_defaults(request):
+    """Shrink Simulator.run's default budgets when slow is deselected."""
+    markexpr = getattr(request.config.option, "markexpr", "") or ""
+    if "not slow" not in markexpr.replace("'", "").replace('"', ""):
+        yield
+        return
+    original = Simulator.run.__defaults__
+    Simulator.run.__defaults__ = FAST_RUN_DEFAULTS
+    try:
+        yield
+    finally:
+        Simulator.run.__defaults__ = original

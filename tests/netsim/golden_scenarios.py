@@ -1,0 +1,106 @@
+"""Golden-parity scenarios: fixed seeds, fixed cycle budgets.
+
+Each scenario builds a small network, drives it with Bernoulli traffic
+for an exact number of warmup/measure/drain cycles, and summarises the
+run as plain JSON-able data (every latency sample, every flit count).
+``tests/netsim/goldens/*.json`` holds the output recorded *before* the
+hot-path optimization; ``test_golden_parity.py`` asserts the simulator
+still reproduces it bit for bit.
+
+Regenerate (only when the simulated behaviour is *meant* to change)
+with::
+
+    PYTHONPATH=src python tests/netsim/goldens/record_goldens.py
+"""
+
+from __future__ import annotations
+
+from repro.netsim.config import RouterConfig
+from repro.netsim.mesh_network import mesh_network
+from repro.netsim.network import clos_network, waferscale_clos_network
+from repro.netsim.packet import reset_packet_ids
+from repro.netsim.sim import Simulator
+from repro.netsim.traffic import make_pattern
+
+
+def _small_mesh():
+    """4x4 mesh, 2 terminals per router (32 terminals)."""
+    return mesh_network(
+        4,
+        4,
+        terminals_per_router=2,
+        neighbor_channels=2,
+        config=RouterConfig(num_vcs=2, buffer_flits_per_port=8),
+        io_latency=2,
+    )
+
+
+def _small_clos():
+    """32-terminal waferscale Clos of radix-8 SSCs."""
+    return waferscale_clos_network(
+        32, 8, num_vcs=2, buffer_flits_per_port=8, io_latency=2
+    )
+
+
+def _clos_on_mesh():
+    """Clos with the non-uniform leaf-spine latencies of a mesh mapping.
+
+    A deterministic arithmetic stand-in for ``mapped_pair_latency_fn``
+    (no placement solve needed): latency grows with the Manhattan-like
+    separation of the pair indices.
+    """
+    return clos_network(
+        "clos-on-mesh",
+        32,
+        8,
+        RouterConfig(num_vcs=2, buffer_flits_per_port=8, pipeline_delay=3),
+        inter_switch_latency=1,
+        io_latency=2,
+        pair_latency_fn=lambda leaf, spine: 1 + (leaf + 2 * spine) % 4,
+    )
+
+
+#: name -> (network factory, pattern name, load, seed)
+SCENARIOS = {
+    "mesh_low": (_small_mesh, "uniform", 0.05, 11),
+    "mesh_high": (_small_mesh, "uniform", 0.35, 12),
+    "clos_low": (_small_clos, "uniform", 0.05, 13),
+    "clos_high": (_small_clos, "uniform", 0.40, 14),
+    "clos_on_mesh_low": (_clos_on_mesh, "transpose", 0.05, 15),
+    "clos_on_mesh_high": (_clos_on_mesh, "transpose", 0.40, 16),
+}
+
+WARMUP_CYCLES = 150
+MEASURE_CYCLES = 400
+DRAIN_CYCLES = 800
+
+
+def run_scenario(name: str) -> dict:
+    """Run one scenario from a clean slate and summarise it exactly."""
+    factory, pattern_name, load, seed = SCENARIOS[name]
+    reset_packet_ids()  # packet ids feed the routing hash; must restart
+    network = factory()
+    pattern = make_pattern(pattern_name, network.n_terminals)
+    sim = Simulator(network, pattern, load, packet_size_flits=4, seed=seed)
+    stats = sim.run(
+        warmup_cycles=WARMUP_CYCLES,
+        measure_cycles=MEASURE_CYCLES,
+        drain_cycles=DRAIN_CYCLES,
+    )
+    return {
+        "scenario": name,
+        "latencies_cycles": list(stats.latencies_cycles),
+        "flits_offered": stats.flits_offered,
+        "flits_delivered": stats.flits_delivered,
+        "packets_delivered": stats.packets_delivered,
+        "measure_start": stats.measure_start,
+        "measure_end": stats.measure_end,
+        "final_cycle": network.cycle,
+        "in_flight_after_drain": network.in_flight_flits(),
+        "flits_received_per_terminal": [
+            t.flits_received for t in network.terminals
+        ],
+        "flits_forwarded_per_router": [
+            r.flits_forwarded for r in network.routers
+        ],
+    }

@@ -1,0 +1,34 @@
+"""Regenerate the golden RunStats fixtures.
+
+Run from the repo root (only when simulated behaviour is *meant* to
+change — the whole point of the goldens is to freeze behaviour across
+performance work)::
+
+    PYTHONPATH=src python tests/netsim/goldens/record_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent))
+
+from golden_scenarios import SCENARIOS, run_scenario  # noqa: E402
+
+
+def main() -> None:
+    for name in SCENARIOS:
+        result = run_scenario(name)
+        path = HERE / f"{name}.json"
+        path.write_text(json.dumps(result, indent=1) + "\n")
+        print(
+            f"{name}: {result['packets_delivered']} packets, "
+            f"{result['flits_delivered']} flits measured -> {path.name}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,36 @@ def test_latency_grows_with_load():
     assert results[1].avg_latency_cycles > results[0].avg_latency_cycles
 
 
+def test_sweep_starting_past_saturation_flags_every_point():
+    """Regression: a sweep that starts beyond the knee must not anchor
+    its zero-load reference on the (already saturated) first point.
+
+    Before the guard, the first non-NaN latency became the zero-load
+    latency even when the network was saturated, so later points were
+    compared against an inflated reference and reported unsaturated.
+    """
+    results = load_latency_sweep(
+        _small_network,
+        lambda n: make_pattern("bit-complement", n),
+        loads=[0.9, 1.0],
+        warmup_cycles=200,
+        measure_cycles=600,
+    )
+    assert all(point.saturated for point in results)
+
+
+def test_sweep_low_load_point_not_saturated():
+    """The guard must not misfire on a healthy low-load point."""
+    results = load_latency_sweep(
+        _small_network,
+        lambda n: make_pattern("uniform", n),
+        loads=[0.05],
+        warmup_cycles=200,
+        measure_cycles=600,
+    )
+    assert not results[0].saturated
+
+
 def test_saturation_throughput_below_unity():
     throughput = saturation_throughput(
         _small_network,
