@@ -1,0 +1,115 @@
+"""Experiment-runner benchmark: serial vs parallel vs warm cache.
+
+Times three runs of the same experiment suite through
+``repro.experiments.runner.run_experiments``:
+
+1. **parallel cold** — work units fanned over ``--jobs`` processes,
+   no result cache (run first so the in-process mapping memo is cold
+   for both compute phases);
+2. **serial cold** — one process, storing into a fresh result cache;
+3. **warm cache** — the same suite again, served from the cache.
+
+Verifies the parallel tables are identical to the serial ones and
+writes ``BENCH_runner.json`` with all three wall-clocks plus the
+parallel and cache speedups. Parallel speedup scales with physical
+cores (a single-core container shows ~1x or a small regression because
+workers cannot share the in-process mapping memo); the cache speedup is
+machine-independent and must stay large.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runner_parallel.py
+    PYTHONPATH=src python benchmarks/bench_runner_parallel.py --ids fig07 fig17
+    PYTHONPATH=src python benchmarks/bench_runner_parallel.py --full --jobs 8
+
+Also collected by pytest as a quick smoke test (two tiny experiments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.core.design import clear_mapping_cache
+from repro.experiments.base import EXPERIMENT_IDS
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import run_experiments
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT_PATH = REPO_ROOT / "BENCH_runner.json"
+
+
+def _timed(label: str, **kwargs):
+    clear_mapping_cache()
+    start = time.perf_counter()
+    results = run_experiments(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(f"{label:>13}: {elapsed:7.2f}s for {len(results)} experiment(s)")
+    return results, elapsed
+
+
+def run_bench(ids, fast: bool = True, jobs: int = 4) -> dict:
+    ids = list(ids)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cache = ResultCache(cache_dir)
+        parallel, parallel_s = _timed(
+            "parallel cold", ids=ids, fast=fast, jobs=jobs
+        )
+        serial, serial_s = _timed(
+            "serial cold", ids=ids, fast=fast, jobs=1, cache=cache
+        )
+        warm, warm_s = _timed(
+            "warm cache", ids=ids, fast=fast, jobs=1, cache=cache
+        )
+    rows_identical = parallel == serial and warm == serial
+    report = {
+        "experiments": ids,
+        "mode": "fast" if fast else "full",
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "parallel_cold_seconds": round(parallel_s, 3),
+        "serial_cold_seconds": round(serial_s, 3),
+        "warm_cache_seconds": round(warm_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "cache_speedup": round(serial_s / warm_s, 2),
+        "rows_identical": rows_identical,
+    }
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--ids", nargs="*", default=None, help="experiment ids (default: all)"
+    )
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    ids = args.ids or list(EXPERIMENT_IDS)
+    report = run_bench(ids, fast=not args.full, jobs=args.jobs)
+    print(
+        f"parallel speedup {report['parallel_speedup']}x "
+        f"(on {report['cpu_count']} cpu(s)), "
+        f"cache speedup {report['cache_speedup']}x, "
+        f"rows identical: {report['rows_identical']}"
+    )
+    ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {ARTIFACT_PATH}")
+    return 0 if report["rows_identical"] else 1
+
+
+def test_runner_parallel_smoke(tmp_path, monkeypatch):
+    """Tiny end-to-end pass: identical tables, cache round trip."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    report = run_bench(["fig01", "tab06"], fast=True, jobs=2)
+    assert report["rows_identical"]
+    assert report["warm_cache_seconds"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

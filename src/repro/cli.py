@@ -55,6 +55,14 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     forwarded = list(args.ids)
     if args.full:
         forwarded.append("--full")
+    if args.jobs != 1:
+        forwarded.append(f"--jobs={args.jobs}")
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    if args.cache_clear:
+        forwarded.append("--cache-clear")
+    if args.timeout is not None:
+        forwarded.append(f"--timeout={args.timeout}")
     return runner_main(forwarded)
 
 
@@ -125,6 +133,28 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="reproduce paper artifacts")
     experiments.add_argument("ids", nargs="*")
     experiments.add_argument("--full", action="store_true")
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="processes to fan independent work units across (default 1)",
+    )
+    experiments.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (always recompute)",
+    )
+    experiments.add_argument(
+        "--cache-clear",
+        action="store_true",
+        help="wipe .repro_cache/ (then exit unless ids are given)",
+    )
+    experiments.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-unit stall watchdog in seconds (falls back to serial)",
+    )
     experiments.set_defaults(func=_cmd_experiments)
 
     simulate = sub.add_parser("simulate", help="cycle-accurate comparison")

@@ -1,0 +1,167 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cached entry is keyed by the experiment id, the run mode (fast/full),
+and a **source fingerprint**: a hash over the source text of every
+``repro`` module the experiment (transitively) imports. Editing any
+module an experiment depends on — and only those — changes its key, so
+stale results can never be served while unrelated edits keep the cache
+warm. Entries live as JSON files under ``.repro_cache/`` (override with
+the ``REPRO_CACHE_DIR`` environment variable).
+
+The dependency walk is static (AST import scan), so computing a key
+never executes experiment code.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Optional, Tuple
+
+from repro.experiments.base import ExperimentResult
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every existing cache entry (serialization changes).
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` in the cwd."""
+    return Path(os.environ.get(CACHE_DIR_ENV, ".repro_cache"))
+
+
+def _mode_tag(fast: bool) -> str:
+    """Cache-key tag for the run mode.
+
+    >>> _mode_tag(True), _mode_tag(False)
+    ('fast', 'full')
+    """
+    return "fast" if fast else "full"
+
+
+def module_source_path(module_name: str) -> Optional[Path]:
+    """Filesystem path of a module's source, or None for non-file modules."""
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ImportError, AttributeError, ValueError):
+        return None
+    if spec is None or not spec.origin or not spec.origin.endswith(".py"):
+        return None
+    return Path(spec.origin)
+
+
+def _direct_imports(source: str) -> Iterable[str]:
+    """Names of ``repro.*`` modules a source text imports directly.
+
+    ``from repro.a import b`` yields both ``repro.a`` and ``repro.a.b``
+    as candidates; non-module candidates are discarded by the resolver.
+    """
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module and node.module.split(".")[0] == "repro":
+                yield node.module
+                for alias in node.names:
+                    yield f"{node.module}.{alias.name}"
+
+
+@lru_cache(maxsize=None)
+def transitive_modules(module_name: str) -> Tuple[str, ...]:
+    """All ``repro`` modules reachable from ``module_name`` via imports,
+    including itself, sorted. Static AST walk — no code is executed."""
+    seen = set()
+    frontier = [module_name]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        path = module_source_path(name)
+        if path is None:
+            continue
+        seen.add(name)
+        for candidate in _direct_imports(path.read_text()):
+            if candidate not in seen:
+                frontier.append(candidate)
+    return tuple(sorted(seen))
+
+
+def source_fingerprint(module_names: Iterable[str]) -> str:
+    """SHA-256 over the named modules' source bytes (order-independent)."""
+    digest = hashlib.sha256()
+    for name in sorted(set(module_names)):
+        path = module_source_path(name)
+        if path is None or not path.exists():
+            continue
+        digest.update(name.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def cache_key(experiment_id: str, fast: bool, module_name: Optional[str] = None) -> str:
+    """Content-addressed key: experiment id + mode + source fingerprint."""
+    module_name = module_name or f"repro.experiments.{experiment_id}"
+    fingerprint = source_fingerprint(transitive_modules(module_name))
+    raw = f"v{CACHE_FORMAT_VERSION}|{experiment_id}|{_mode_tag(fast)}|{fingerprint}"
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+class ResultCache:
+    """Stores :class:`ExperimentResult` tables as JSON files.
+
+    File names embed the content key, so a source edit simply makes the
+    old entry unreachable (``clear`` reclaims the space). ``load``
+    returns None on any miss or unreadable entry — the cache is purely
+    an accelerator and never a source of errors.
+    """
+
+    def __init__(self, directory: Optional[Path] = None):
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+
+    def entry_path(self, experiment_id: str, fast: bool) -> Path:
+        key = cache_key(experiment_id, fast)
+        return self.directory / f"{experiment_id}-{_mode_tag(fast)}-{key}.json"
+
+    def load(self, experiment_id: str, fast: bool) -> Optional[ExperimentResult]:
+        path = self.entry_path(experiment_id, fast)
+        try:
+            payload = json.loads(path.read_text())
+            return ExperimentResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, experiment_id: str, fast: bool, result: ExperimentResult) -> Path:
+        path = self.entry_path(experiment_id, fast)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "experiment_id": experiment_id,
+            "mode": _mode_tag(fast),
+            "format_version": CACHE_FORMAT_VERSION,
+            "result": result.to_dict(),
+        }
+        # Write-then-rename so a concurrent reader never sees a torn file.
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=1) + "\n")
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for entry in self.directory.glob("*.json"):
+                entry.unlink()
+                removed += 1
+        return removed

@@ -15,26 +15,43 @@ from repro.experiments.common import mapping_restarts, substrates
 from repro.tech.external_io import AREA_IO, OPTICAL_IO, SERDES_IO
 from repro.tech.wsi import SI_IF
 
+EXTERNAL_IOS = (SERDES_IO, OPTICAL_IO, AREA_IO)
+_IO_BY_NAME = {ext.name: ext for ext in EXTERNAL_IOS}
 
-def run(fast: bool = True, wsi=SI_IF) -> ExperimentResult:
-    rows = []
-    for side in substrates(fast):
-        ideal = ideal_max_ports(side)
-        for ext in (SERDES_IO, OPTICAL_IO, AREA_IO):
-            design = max_feasible_design(
-                side,
-                wsi=wsi,
-                external_io=ext,
-                limits=ConstraintLimits(),
-                mapping_restarts=mapping_restarts(fast),
-            )
-            ports = design.n_ports if design else 0
-            binding = (
-                "none"
-                if ports == ideal
-                else "internal-bw/external-bw"
-            )
-            rows.append((side, ext.name, ports, ideal, binding))
+
+def units(fast: bool = True):
+    """One unit per (substrate, external I/O) design-space point."""
+    return [
+        (side, ext.name) for side in substrates(fast) for ext in EXTERNAL_IOS
+    ]
+
+
+def unit_rows(unit, fast: bool = True, wsi=SI_IF):
+    """Rows for one unit; ``wsi`` parameterized so fig09 reuses this."""
+    side, ext_name = unit
+    ideal = ideal_max_ports(side)
+    design = max_feasible_design(
+        side,
+        wsi=wsi,
+        external_io=_IO_BY_NAME[ext_name],
+        limits=ConstraintLimits(),
+        mapping_restarts=mapping_restarts(fast),
+    )
+    ports = design.n_ports if design else 0
+    binding = "none" if ports == ideal else "internal-bw/external-bw"
+    return [(side, ext_name, ports, ideal, binding)]
+
+
+def run_unit(unit, fast: bool = True):
+    return unit_rows(unit, fast=fast, wsi=SI_IF)
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
+    return _result([row for rows in unit_results for row in rows], SI_IF)
+
+
+def _result(rows, wsi) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="fig07",
         title=f"Max 200G ports @ {wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm",
@@ -45,3 +62,12 @@ def run(fast: bool = True, wsi=SI_IF) -> ExperimentResult:
             "300mm (75% below ideal 8192)",
         ],
     )
+
+
+def run(fast: bool = True, wsi=SI_IF) -> ExperimentResult:
+    rows = [
+        row
+        for unit in units(fast)
+        for row in unit_rows(unit, fast=fast, wsi=wsi)
+    ]
+    return _result(rows, wsi)

@@ -7,20 +7,36 @@ stays at the ideal 1024; Area I/O does not improve (externally bound).
 
 from __future__ import annotations
 
+from repro.experiments import fig07
 from repro.experiments.base import ExperimentResult
-from repro.experiments.fig07 import run as run_fig07
 from repro.tech.wsi import SI_IF_OVERDRIVEN
 
 
-def run(fast: bool = True) -> ExperimentResult:
-    result = run_fig07(fast=fast, wsi=SI_IF_OVERDRIVEN)
+def units(fast: bool = True):
+    """Same (substrate, external I/O) grid as fig07, at 6400 Gbps/mm."""
+    return fig07.units(fast)
+
+
+def run_unit(unit, fast: bool = True):
+    return fig07.unit_rows(unit, fast=fast, wsi=SI_IF_OVERDRIVEN)
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
+    base = fig07._result(
+        [row for rows in unit_results for row in rows], SI_IF_OVERDRIVEN
+    )
     return ExperimentResult(
         experiment_id="fig09",
-        title=result.title,
-        headers=result.headers,
-        rows=result.rows,
+        title=base.title,
+        headers=base.headers,
+        rows=base.rows,
         notes=[
             "paper @6400: Optical reaches 8192 at 300mm (matches ideal), "
             "4096 at 200mm; Area I/O unchanged (external bottleneck)",
         ],
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

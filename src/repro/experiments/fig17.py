@@ -13,20 +13,41 @@ from repro.experiments.common import mapping_restarts, substrates
 from repro.tech.external_io import OPTICAL_IO
 from repro.tech.wsi import SI_IF, WSITechnology
 
+DERADIX_FACTORS = (1, 2, 4)
 
-def run(fast: bool = True, wsi: WSITechnology = SI_IF) -> ExperimentResult:
-    rows = []
-    for side in substrates(fast):
-        sweep = deradix_sweep(
-            side,
-            wsi=wsi,
-            external_io=OPTICAL_IO,
-            factors=(1, 2, 4),
-            mapping_restarts=mapping_restarts(fast),
-        )
-        for factor in sorted(sweep):
-            point = sweep[factor]
-            rows.append((side, factor, point.ssc_radix, point.max_ports))
+
+def units(fast: bool = True):
+    """One unit per (substrate, deradix factor) point."""
+    return [
+        (side, factor)
+        for side in substrates(fast)
+        for factor in DERADIX_FACTORS
+    ]
+
+
+def unit_rows(unit, fast: bool = True, wsi: WSITechnology = SI_IF):
+    """Rows for one unit; ``wsi`` parameterized so fig18 reuses this."""
+    side, factor = unit
+    point = deradix_sweep(
+        side,
+        wsi=wsi,
+        external_io=OPTICAL_IO,
+        factors=(factor,),
+        mapping_restarts=mapping_restarts(fast),
+    )[factor]
+    return [(side, factor, point.ssc_radix, point.max_ports)]
+
+
+def run_unit(unit, fast: bool = True):
+    return unit_rows(unit, fast=fast, wsi=SI_IF)
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
+    return _result([row for rows in unit_results for row in rows], SI_IF)
+
+
+def _result(rows, wsi: WSITechnology) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="fig17",
         title=(
@@ -40,3 +61,12 @@ def run(fast: bool = True, wsi: WSITechnology = SI_IF) -> ExperimentResult:
             "(2x), 64-port SSC regresses",
         ],
     )
+
+
+def run(fast: bool = True, wsi: WSITechnology = SI_IF) -> ExperimentResult:
+    rows = [
+        row
+        for unit in units(fast)
+        for row in unit_rows(unit, fast=fast, wsi=wsi)
+    ]
+    return _result(rows, wsi)

@@ -7,20 +7,36 @@ the area-limited maximum, so deradixing only reduces achievable ports.
 
 from __future__ import annotations
 
+from repro.experiments import fig17
 from repro.experiments.base import ExperimentResult
-from repro.experiments.fig17 import run as run_fig17
 from repro.tech.wsi import SI_IF_OVERDRIVEN
 
 
-def run(fast: bool = True) -> ExperimentResult:
-    result = run_fig17(fast=fast, wsi=SI_IF_OVERDRIVEN)
+def units(fast: bool = True):
+    """Same (substrate, deradix factor) grid as fig17, at 6400 Gbps/mm."""
+    return fig17.units(fast)
+
+
+def run_unit(unit, fast: bool = True):
+    return fig17.unit_rows(unit, fast=fast, wsi=SI_IF_OVERDRIVEN)
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
+    base = fig17._result(
+        [row for rows in unit_results for row in rows], SI_IF_OVERDRIVEN
+    )
     return ExperimentResult(
         experiment_id="fig18",
-        title=result.title,
-        headers=result.headers,
-        rows=result.rows,
+        title=base.title,
+        headers=base.headers,
+        rows=base.rows,
         notes=[
             "paper @6400: internal bandwidth already sufficient; "
             "deradixing reduces max ports (area bound)",
         ],
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

@@ -11,12 +11,13 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
 from repro.netsim.network import clos_network
+from repro.netsim.packet import reset_packet_ids
 from repro.netsim.config import RouterConfig
 from repro.netsim.sim import saturation_throughput
 from repro.netsim.traffic import make_pattern
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def _grid(fast: bool):
     scale = sim_scale(fast)
     link_latencies = (1, 10) if fast else (1, 5, 10)
     buffer_sizes = (
@@ -30,39 +31,53 @@ def run(fast: bool = True) -> ExperimentResult:
             16 * scale["num_vcs"],
         )
     )
-    rows = []
-    for latency in link_latencies:
-        for buffer_size in buffer_sizes:
-            def factory(latency=latency, buffer_size=buffer_size):
-                config = RouterConfig(
-                    num_vcs=scale["num_vcs"],
-                    buffer_flits_per_port=buffer_size,
-                    routing_delay=1,
-                    pipeline_delay=1,
-                )
-                return clos_network(
-                    f"fig21-l{latency}-b{buffer_size}",
-                    scale["n_terminals"],
-                    scale["ssc_radix"],
-                    config,
-                    inter_switch_latency=latency,
-                    io_latency=1,
-                )
+    return scale, link_latencies, buffer_sizes
 
-            throughput = saturation_throughput(
-                factory,
-                lambda n: make_pattern("uniform", n),
-                warmup_cycles=scale["warmup_cycles"],
-                measure_cycles=scale["measure_cycles"],
-            )
-            rows.append(
-                (
-                    latency,
-                    latency * 20,
-                    buffer_size,
-                    round(throughput, 3),
-                )
-            )
+
+def units(fast: bool = True):
+    """One unit per (link latency, buffer size) simulation point."""
+    _, link_latencies, buffer_sizes = _grid(fast)
+    return [
+        (latency, buffer_size)
+        for latency in link_latencies
+        for buffer_size in buffer_sizes
+    ]
+
+
+def run_unit(unit, fast: bool = True):
+    latency, buffer_size = unit
+    # Packet ids feed the Clos spine selection, so each unit must start
+    # from a fresh counter or serial and parallel runs would diverge.
+    reset_packet_ids()
+    scale = sim_scale(fast)
+
+    def factory():
+        config = RouterConfig(
+            num_vcs=scale["num_vcs"],
+            buffer_flits_per_port=buffer_size,
+            routing_delay=1,
+            pipeline_delay=1,
+        )
+        return clos_network(
+            f"fig21-l{latency}-b{buffer_size}",
+            scale["n_terminals"],
+            scale["ssc_radix"],
+            config,
+            inter_switch_latency=latency,
+            io_latency=1,
+        )
+
+    throughput = saturation_throughput(
+        factory,
+        lambda n: make_pattern("uniform", n),
+        warmup_cycles=scale["warmup_cycles"],
+        measure_cycles=scale["measure_cycles"],
+    )
+    return [(latency, latency * 20, buffer_size, round(throughput, 3))]
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
     return ExperimentResult(
         experiment_id="fig21",
         title="Saturation throughput vs buffer size and link latency",
@@ -72,10 +87,14 @@ def run(fast: bool = True) -> ExperimentResult:
             "buffer flits/port",
             "saturation throughput (flits/cycle/terminal)",
         ),
-        rows=rows,
+        rows=[row for rows in unit_results for row in rows],
         notes=[
             "paper: higher link delay requires larger buffers for the "
             "same saturation throughput; on-wafer latency allows small "
             "SRAM buffers",
         ],
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

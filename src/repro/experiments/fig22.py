@@ -11,8 +11,15 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
 from repro.netsim.config import RouterConfig
 from repro.netsim.network import clos_network
+from repro.netsim.packet import reset_packet_ids
 from repro.netsim.sim import load_latency_sweep, saturation_throughput
 from repro.netsim.traffic import make_pattern
+
+#: (label, routing delay, ingress routing delay) — baseline first.
+CONFIGS = (
+    ("baseline L3 lookup (RC=4)", 4, None),
+    ("proprietary routing (RC=1, ingress 2)", 1, 2),
+)
 
 
 def _factory(scale, routing_delay, ingress_delay):
@@ -36,47 +43,62 @@ def _factory(scale, routing_delay, ingress_delay):
     return build
 
 
-def run(fast: bool = True) -> ExperimentResult:
-    scale = sim_scale(fast)
-    configs = (
-        ("baseline L3 lookup (RC=4)", _factory(scale, 4, None)),
-        ("proprietary routing (RC=1, ingress 2)", _factory(scale, 1, 2)),
+def units(fast: bool = True):
+    """One unit per routing configuration (sweep + saturation each)."""
+    del fast
+    return [label for label, _, _ in CONFIGS]
+
+
+def run_unit(unit, fast: bool = True):
+    label, routing_delay, ingress_delay = next(
+        config for config in CONFIGS if config[0] == unit
     )
-    rows = []
-    saturations = {}
-    for label, factory in configs:
-        points = load_latency_sweep(
-            factory,
-            lambda n: make_pattern("uniform", n),
-            loads=scale["loads"],
-            warmup_cycles=scale["warmup_cycles"],
-            measure_cycles=scale["measure_cycles"],
+    # Packet ids feed the Clos spine selection, so each unit must start
+    # from a fresh counter or serial and parallel runs would diverge.
+    reset_packet_ids()
+    scale = sim_scale(fast)
+    factory = _factory(scale, routing_delay, ingress_delay)
+    points = load_latency_sweep(
+        factory,
+        lambda n: make_pattern("uniform", n),
+        loads=scale["loads"],
+        warmup_cycles=scale["warmup_cycles"],
+        measure_cycles=scale["measure_cycles"],
+    )
+    rows = [
+        (
+            label,
+            point.offered_load,
+            round(point.avg_latency_cycles, 1),
+            round(point.accepted_load, 3),
+            point.saturated,
         )
-        for point in points:
-            rows.append(
-                (
-                    label,
-                    point.offered_load,
-                    round(point.avg_latency_cycles, 1),
-                    round(point.accepted_load, 3),
-                    point.saturated,
-                )
-            )
-        saturations[label] = saturation_throughput(
-            factory,
-            lambda n: make_pattern("uniform", n),
-            warmup_cycles=scale["warmup_cycles"],
-            measure_cycles=scale["measure_cycles"],
-        )
-    labels = list(saturations)
-    gain = (saturations[labels[1]] / saturations[labels[0]] - 1.0) * 100.0
+        for point in points
+    ]
+    saturation = saturation_throughput(
+        factory,
+        lambda n: make_pattern("uniform", n),
+        warmup_cycles=scale["warmup_cycles"],
+        measure_cycles=scale["measure_cycles"],
+    )
+    return {"rows": rows, "saturation": saturation}
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
+    baseline, proprietary = unit_results
+    gain = (proprietary["saturation"] / baseline["saturation"] - 1.0) * 100.0
     return ExperimentResult(
         experiment_id="fig22",
         title="Latency vs load: proprietary routing vs L3 lookup",
         headers=("config", "offered load", "avg latency cycles", "accepted", "saturated"),
-        rows=rows,
+        rows=baseline["rows"] + proprietary["rows"],
         notes=[
             f"saturation throughput gain from proprietary routing: "
             f"{gain:+.1f}% (paper: +11% to +14.5%)",
         ],
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

@@ -11,57 +11,79 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
 from repro.netsim.network import baseline_switch_network, waferscale_clos_network
+from repro.netsim.packet import reset_packet_ids
 from repro.netsim.sim import load_latency_sweep, saturation_throughput
 from repro.netsim.traffic import make_pattern
 
 PATTERNS_FAST = ("uniform", "transpose")
 PATTERNS_FULL = ("uniform", "transpose", "bit-complement", "shuffle", "asymmetric")
 
+NETWORK_LABELS = ("waferscale", "switch-network")
 
-def _factories(scale):
+
+def _factory(scale, label):
     common = dict(
         n_terminals=scale["n_terminals"],
         ssc_radix=scale["ssc_radix"],
         num_vcs=scale["num_vcs"],
         buffer_flits_per_port=scale["buffer_flits_per_port"],
     )
-    return (
-        ("waferscale", lambda: waferscale_clos_network(**common)),
-        ("switch-network", lambda: baseline_switch_network(**common)),
-    )
+    if label == "waferscale":
+        return lambda: waferscale_clos_network(**common)
+    return lambda: baseline_switch_network(**common)
 
 
-def run(fast: bool = True) -> ExperimentResult:
-    scale = sim_scale(fast)
+def units(fast: bool = True):
+    """One unit per (traffic pattern, network) simulation pair."""
     patterns = PATTERNS_FAST if fast else PATTERNS_FULL
-    rows = []
-    zero_load = {}
-    for pattern_name in patterns:
-        for label, factory in _factories(scale):
-            points = load_latency_sweep(
-                factory,
-                lambda n: make_pattern(pattern_name, n),
-                loads=scale["loads"][:3],
-                warmup_cycles=scale["warmup_cycles"],
-                measure_cycles=scale["measure_cycles"],
-            )
-            throughput = saturation_throughput(
-                factory,
-                lambda n: make_pattern(pattern_name, n),
-                warmup_cycles=scale["warmup_cycles"],
-                measure_cycles=scale["measure_cycles"],
-            )
-            low_load_latency = points[0].avg_latency_cycles
-            if pattern_name == "uniform":
-                zero_load[label] = low_load_latency
-            rows.append(
-                (
-                    pattern_name,
-                    label,
-                    round(low_load_latency, 1),
-                    round(throughput, 3),
-                )
-            )
+    return [
+        (pattern_name, label)
+        for pattern_name in patterns
+        for label in NETWORK_LABELS
+    ]
+
+
+def run_unit(unit, fast: bool = True):
+    pattern_name, label = unit
+    # Packet ids feed the Clos spine selection, so each unit must start
+    # from a fresh counter or serial and parallel runs would diverge.
+    reset_packet_ids()
+    scale = sim_scale(fast)
+    factory = _factory(scale, label)
+    points = load_latency_sweep(
+        factory,
+        lambda n: make_pattern(pattern_name, n),
+        loads=scale["loads"][:3],
+        warmup_cycles=scale["warmup_cycles"],
+        measure_cycles=scale["measure_cycles"],
+    )
+    throughput = saturation_throughput(
+        factory,
+        lambda n: make_pattern(pattern_name, n),
+        warmup_cycles=scale["warmup_cycles"],
+        measure_cycles=scale["measure_cycles"],
+    )
+    low_load_latency = points[0].avg_latency_cycles
+    return {
+        "row": (
+            pattern_name,
+            label,
+            round(low_load_latency, 1),
+            round(throughput, 3),
+        ),
+        "pattern": pattern_name,
+        "label": label,
+        "low_load_latency": low_load_latency,
+    }
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
+    zero_load = {
+        partial["label"]: partial["low_load_latency"]
+        for partial in unit_results
+        if partial["pattern"] == "uniform"
+    }
     notes = [
         "paper: zero-load latency 37 (WS) vs 60 (network) cycles; equal "
         "or higher WS saturation on all patterns but asymmetric",
@@ -83,6 +105,10 @@ def run(fast: bool = True) -> ExperimentResult:
             "low-load latency cycles",
             "saturation throughput",
         ),
-        rows=rows,
+        rows=[partial["row"] for partial in unit_results],
         notes=notes,
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

@@ -13,15 +13,18 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
 from repro.netsim.network import baseline_switch_network, waferscale_clos_network
+from repro.netsim.packet import reset_packet_ids
 from repro.netsim.trace import (
     SyntheticTraceSpec,
     duplicate_trace,
-    replay_trace,
     synthetic_nersc_trace,
+    replay_trace,
 )
 
 TRACES_FAST = ("lulesh", "nekbone")
 TRACES_FULL = ("lulesh", "mocfe", "multigrid", "nekbone")
+
+NETWORK_LABELS = ("waferscale", "switch-network")
 
 
 def _sustained_throughput(network_factory, events, n_terminals, compressions):
@@ -36,36 +39,49 @@ def _sustained_throughput(network_factory, events, n_terminals, compressions):
     return best
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def units(fast: bool = True):
+    """One unit per (trace, network) replay; merge pairs them up."""
+    traces = TRACES_FAST if fast else TRACES_FULL
+    return [(trace_name, label) for trace_name in traces for label in NETWORK_LABELS]
+
+
+def run_unit(unit, fast: bool = True):
+    trace_name, label = unit
+    # Packet ids feed the Clos spine selection, so each unit must start
+    # from a fresh counter or serial and parallel runs would diverge.
+    reset_packet_ids()
     scale = sim_scale(fast)
     n = scale["n_terminals"]
     trace_nodes = n // 2  # traces are generated at half scale then duplicated
     compressions = (4.0,) if fast else (2.0, 8.0, 32.0)
-    traces = TRACES_FAST if fast else TRACES_FULL
+    # Trace generation is seeded, so regenerating per unit is exact.
+    spec = SyntheticTraceSpec(n_nodes=trace_nodes, iterations=2 if fast else 4)
+    events = duplicate_trace(
+        synthetic_nersc_trace(trace_name, spec), copies=2,
+        nodes_per_copy=trace_nodes,
+    )
     common = dict(
         n_terminals=n,
         ssc_radix=scale["ssc_radix"],
         num_vcs=scale["num_vcs"],
         buffer_flits_per_port=scale["buffer_flits_per_port"],
     )
-    factories = (
-        ("waferscale", lambda: waferscale_clos_network(**common)),
-        ("switch-network", lambda: baseline_switch_network(**common)),
-    )
+    if label == "waferscale":
+        factory = lambda: waferscale_clos_network(**common)  # noqa: E731
+    else:
+        factory = lambda: baseline_switch_network(**common)  # noqa: E731
+    throughput = _sustained_throughput(factory, events, n, compressions)
+    return {"trace": trace_name, "label": label, "throughput": throughput}
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    traces = TRACES_FAST if fast else TRACES_FULL
+    by_trace = {trace_name: {} for trace_name in traces}
+    for partial in unit_results:
+        by_trace[partial["trace"]][partial["label"]] = partial["throughput"]
     rows = []
     for trace_name in traces:
-        spec = SyntheticTraceSpec(
-            n_nodes=trace_nodes, iterations=2 if fast else 4
-        )
-        events = duplicate_trace(
-            synthetic_nersc_trace(trace_name, spec), copies=2,
-            nodes_per_copy=trace_nodes,
-        )
-        results = {}
-        for label, factory in factories:
-            results[label] = _sustained_throughput(
-                factory, events, n, compressions
-            )
+        results = by_trace[trace_name]
         gain = (
             results["waferscale"] / max(results["switch-network"], 1e-9) - 1.0
         ) * 100.0
@@ -94,3 +110,7 @@ def run(fast: bool = True) -> ExperimentResult:
             "communication signature (originals not redistributable)",
         ],
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

@@ -21,49 +21,58 @@ from repro.tech.wsi import SI_IF
 FAMILIES = ("clos", "mesh", "butterfly", "dragonfly", "flattened-butterfly")
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def units(fast: bool = True):
+    """One unit per topology family (ideal + constrained + optimized)."""
+    del fast
+    return list(FAMILIES)
+
+
+def run_unit(unit, fast: bool = True):
+    family = unit
     side = 200.0 if fast else 300.0
     restarts = mapping_restarts(fast)
     constrained_limits = ConstraintLimits(cooling=WATER_COOLING)
-    rows = []
-    for family in FAMILIES:
-        ideal = max_feasible_design(
-            side, external_io=None, limits=AREA_ONLY, family=family
-        )
-        constrained = max_feasible_design(
+    ideal = max_feasible_design(
+        side, external_io=None, limits=AREA_ONLY, family=family
+    )
+    constrained = max_feasible_design(
+        side,
+        wsi=SI_IF,
+        external_io=OPTICAL_IO,
+        limits=constrained_limits,
+        family=family,
+        mapping_restarts=restarts,
+    )
+    if family == "clos":
+        # Optimizations: deradixing sweep (heterogeneity affects
+        # power, which water cooling already accommodates here).
+        sweep = deradix_sweep(
             side,
             wsi=SI_IF,
             external_io=OPTICAL_IO,
             limits=constrained_limits,
-            family=family,
             mapping_restarts=restarts,
         )
-        if family == "clos":
-            # Optimizations: deradixing sweep (heterogeneity affects
-            # power, which water cooling already accommodates here).
-            sweep = deradix_sweep(
-                side,
-                wsi=SI_IF,
-                external_io=OPTICAL_IO,
-                limits=constrained_limits,
-                mapping_restarts=restarts,
-            )
-            optimized_ports = sweep[best_deradix_factor(sweep)].max_ports
-        else:
-            optimized_ports = constrained.n_ports if constrained else 0
-        rows.append(
-            (
-                family,
-                ideal.n_ports if ideal else 0,
-                constrained.n_ports if constrained else 0,
-                optimized_ports,
-            )
+        optimized_ports = sweep[best_deradix_factor(sweep)].max_ports
+    else:
+        optimized_ports = constrained.n_ports if constrained else 0
+    return [
+        (
+            family,
+            ideal.n_ports if ideal else 0,
+            constrained.n_ports if constrained else 0,
+            optimized_ports,
         )
+    ]
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    side = 200.0 if fast else 300.0
     return ExperimentResult(
         experiment_id="fig25",
         title=f"Non-Clos topologies at {side:g}mm: ideal / constrained / optimized",
         headers=("topology", "ideal ports", "constrained ports", "optimized ports"),
-        rows=rows,
+        rows=[row for rows in unit_results for row in rows],
         notes=[
             "paper: mesh/butterfly ~10% above Clos ideal; dragonfly and "
             "flattened butterfly 1.7x-3.2x below Clos once constrained "
@@ -71,3 +80,7 @@ def run(fast: bool = True) -> ExperimentResult:
             "optimized column applies subswitch deradixing (Clos family)",
         ],
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

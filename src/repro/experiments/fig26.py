@@ -23,51 +23,70 @@ def _high_density_wsi() -> WSITechnology:
     return INFO_SOW
 
 
-def run(fast: bool = True) -> ExperimentResult:
+_WSI_BY_NAME = {SI_IF.name: SI_IF, INFO_SOW.name: INFO_SOW}
+
+
+def units(fast: bool = True):
+    """One unit per WSI technology comparison point."""
+    del fast
+    return [SI_IF.name, _high_density_wsi().name]
+
+
+def run_unit(unit, fast: bool = True):
+    wsi = _WSI_BY_NAME[unit]
     side = 200.0 if fast else 300.0
     restarts = mapping_restarts(fast)
-    rows = []
+    mapped = max_feasible_design(
+        side,
+        wsi=wsi,
+        external_io=OPTICAL_IO,
+        mapping_restarts=restarts,
+    )
+    physical_ports = max_physical_clos_ports(side, wsi, OPTICAL_IO)
+    row = (
+        f"{wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm",
+        mapped.n_ports if mapped else 0,
+        physical_ports,
+    )
     power_notes = []
-    for wsi in (SI_IF, _high_density_wsi()):
-        mapped = max_feasible_design(
+    # Iso-radix power comparison at the physical Clos's radix.
+    if physical_ports and mapped:
+        iso = min(physical_ports, mapped.n_ports)
+        physical = evaluate_physical_clos(side, iso, wsi, OPTICAL_IO)
+        mapped_iso = evaluate_design(
             side,
-            wsi=wsi,
-            external_io=OPTICAL_IO,
+            folded_clos(iso),
+            wsi,
+            OPTICAL_IO,
             mapping_restarts=restarts,
         )
-        physical_ports = max_physical_clos_ports(side, wsi, OPTICAL_IO)
-        rows.append(
-            (
-                f"{wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm",
-                mapped.n_ports if mapped else 0,
-                physical_ports,
-            )
+        overhead = physical.power.total_w / mapped_iso.power.total_w - 1.0
+        power_notes.append(
+            f"{wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm iso-radix "
+            f"(N={iso}) power overhead of physical Clos: "
+            f"{overhead * 100:+.0f}% (paper: ~+10%)"
         )
-        # Iso-radix power comparison at the physical Clos's radix.
-        if physical_ports and mapped:
-            iso = min(physical_ports, mapped.n_ports)
-            physical = evaluate_physical_clos(side, iso, wsi, OPTICAL_IO)
-            mapped_iso = evaluate_design(
-                side,
-                folded_clos(iso),
-                wsi,
-                OPTICAL_IO,
-                mapping_restarts=restarts,
-            )
-            overhead = physical.power.total_w / mapped_iso.power.total_w - 1.0
-            power_notes.append(
-                f"{wsi.bandwidth_density_gbps_per_mm:g} Gbps/mm iso-radix "
-                f"(N={iso}) power overhead of physical Clos: "
-                f"{overhead * 100:+.0f}% (paper: ~+10%)"
-            )
+    return {"row": row, "power_notes": power_notes}
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    side = 200.0 if fast else 300.0
     return ExperimentResult(
         experiment_id="fig26",
         title=f"Mapped Clos vs physical Clos at {side:g}mm (Optical I/O)",
         headers=("internal BW", "mapped Clos ports", "physical Clos ports"),
-        rows=rows,
+        rows=[partial["row"] for partial in unit_results],
         notes=[
             "paper: physical Clos always reaches a lower radix than "
             "mapped Clos",
-            *power_notes,
+            *(
+                note
+                for partial in unit_results
+                for note in partial["power_notes"]
+            ),
         ],
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

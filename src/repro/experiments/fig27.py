@@ -14,35 +14,46 @@ from repro.tech.external_io import OPTICAL_IO
 from repro.tech.wsi import SI_IF
 
 
-def run(fast: bool = True) -> ExperimentResult:
+def units(fast: bool = True):
+    """One unit per internal bandwidth-density multiplier."""
+    return list((0.5, 1.0, 2.0, 4.0) if fast else (0.5, 1.0, 2.0, 4.0, 8.0))
+
+
+def run_unit(unit, fast: bool = True):
+    multiplier = unit
     side = 200.0 if fast else 300.0
-    multipliers = (0.5, 1.0, 2.0, 4.0) if fast else (0.5, 1.0, 2.0, 4.0, 8.0)
     ideal = ideal_max_ports(side)
-    rows = []
-    for multiplier in multipliers:
-        wsi = SI_IF if multiplier == 1.0 else SI_IF.overdriven(multiplier)
-        design = max_feasible_design(
-            side,
-            wsi=wsi,
-            external_io=OPTICAL_IO,
-            mapping_restarts=mapping_restarts(fast),
+    wsi = SI_IF if multiplier == 1.0 else SI_IF.overdriven(multiplier)
+    design = max_feasible_design(
+        side,
+        wsi=wsi,
+        external_io=OPTICAL_IO,
+        mapping_restarts=mapping_restarts(fast),
+    )
+    ports = design.n_ports if design else 0
+    return [
+        (
+            round(wsi.bandwidth_density_gbps_per_mm),
+            ports,
+            ideal,
+            "area-limited" if ports == ideal else "bandwidth-limited",
         )
-        ports = design.n_ports if design else 0
-        rows.append(
-            (
-                round(wsi.bandwidth_density_gbps_per_mm),
-                ports,
-                ideal,
-                "area-limited" if ports == ideal else "bandwidth-limited",
-            )
-        )
+    ]
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    side = 200.0 if fast else 300.0
     return ExperimentResult(
         experiment_id="fig27",
         title=f"Max ports vs internal bandwidth density ({side:g}mm, Optical I/O)",
         headers=("internal Gbps/mm", "max ports", "ideal ports", "binding"),
-        rows=rows,
+        rows=[row for rows in unit_results for row in rows],
         notes=[
             "paper: the curve saturates at the area-limited radix once "
             "internal bandwidth density is a few x higher",
         ],
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

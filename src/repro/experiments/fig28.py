@@ -19,41 +19,54 @@ from repro.tech.external_io import OPTICAL_IO
 from repro.tech.wsi import SI_IF_OVERDRIVEN
 from repro.topology.clos import folded_clos
 
+COOLINGS = (AIR_COOLING, WATER_COOLING, MULTIPHASE_COOLING)
+_COOLING_BY_NAME = {cooling.name: cooling for cooling in COOLINGS}
 
-def run(fast: bool = True) -> ExperimentResult:
+
+def units(fast: bool = True):
+    """One unit per (substrate, cooling envelope) feasibility search."""
+    return [
+        (side, cooling.name)
+        for side in substrates(fast)
+        for cooling in COOLINGS
+    ]
+
+
+def run_unit(unit, fast: bool = True):
+    side, cooling_name = unit
+    cooling = _COOLING_BY_NAME[cooling_name]
     ssc = tomahawk5()
-    rows = []
-    for side in substrates(fast):
-        candidates = clos_radix_candidates(ssc, max_chiplets_for(side, ssc))
-        for cooling in (AIR_COOLING, WATER_COOLING, MULTIPHASE_COOLING):
-            best = 0
-            for n_ports in candidates:
-                design = evaluate_design(
-                    side,
-                    folded_clos(n_ports, ssc),
-                    SI_IF_OVERDRIVEN,
-                    OPTICAL_IO,
-                    limits=ConstraintLimits(),
-                    mapping_restarts=mapping_restarts(fast),
-                )
-                if not design.feasible:
-                    break
-                hetero = apply_heterogeneity(design, leaf_split=4)
-                if (
-                    hetero.power_density_w_per_mm2
-                    <= cooling.max_power_density_w_per_mm2
-                ):
-                    best = n_ports
-            rows.append(
-                (side, cooling.name, best, round(best / ssc.radix, 1))
-            )
+    best = 0
+    for n_ports in clos_radix_candidates(ssc, max_chiplets_for(side, ssc)):
+        design = evaluate_design(
+            side,
+            folded_clos(n_ports, ssc),
+            SI_IF_OVERDRIVEN,
+            OPTICAL_IO,
+            limits=ConstraintLimits(),
+            mapping_restarts=mapping_restarts(fast),
+        )
+        if not design.feasible:
+            break
+        hetero = apply_heterogeneity(design, leaf_split=4)
+        if hetero.power_density_w_per_mm2 <= cooling.max_power_density_w_per_mm2:
+            best = n_ports
+    return [(side, cooling_name, best, round(best / ssc.radix, 1))]
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
     return ExperimentResult(
         experiment_id="fig28",
         title="Max ports per cooling solution (heterogeneous design, @6400)",
         headers=("substrate mm", "cooling", "max ports", "x single TH-5"),
-        rows=rows,
+        rows=[row for rows in unit_results for row in rows],
         notes=[
             "paper: air ~8x, water ~32x a single TH-5 at 300mm; "
             "multi-phase recommended for full benefits",
         ],
     )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast)], fast=fast)

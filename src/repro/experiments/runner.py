@@ -2,9 +2,19 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # all, fast mode
-    python -m repro.experiments.runner fig07      # one experiment
-    python -m repro.experiments.runner --full     # full-scale runs
+    python -m repro.experiments.runner                  # all, fast mode
+    python -m repro.experiments.runner fig07            # one experiment
+    python -m repro.experiments.runner --full           # full-scale runs
+    python -m repro.experiments.runner --jobs 4         # parallel units
+    python -m repro.experiments.runner --no-cache       # always recompute
+    python -m repro.experiments.runner --cache-clear    # wipe the cache
+
+Results are cached under ``.repro_cache/`` keyed by experiment id, run
+mode, and a source hash of every module the experiment imports, so an
+unchanged experiment returns instantly; editing any of its modules
+recomputes it (see :mod:`repro.experiments.cache`). ``--jobs N`` fans
+the experiments' independent work units across N processes (see
+:mod:`repro.experiments.scheduler`).
 """
 
 from __future__ import annotations
@@ -16,33 +26,112 @@ from typing import List, Optional, Sequence
 from repro.experiments.base import (
     EXPERIMENT_IDS,
     ExperimentResult,
-    get_experiment,
+    get_spec,
 )
+from repro.experiments.cache import ResultCache
+from repro.experiments.scheduler import execute
 
 
 def run_experiments(
-    ids: Optional[Sequence[str]] = None, fast: bool = True
+    ids: Optional[Sequence[str]] = None,
+    fast: bool = True,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    unit_timeout: Optional[float] = None,
 ) -> List[ExperimentResult]:
-    """Run the given experiments (all when ids is None)."""
+    """Run the given experiments (all when ids is None).
+
+    ``jobs`` > 1 schedules independent work units across processes;
+    passing a :class:`~repro.experiments.cache.ResultCache` serves
+    up-to-date cached results and stores fresh ones. Output is
+    identical for every (jobs, cache) combination.
+    """
     selected = list(ids) if ids else list(EXPERIMENT_IDS)
-    results = []
-    for experiment_id in selected:
-        results.append(get_experiment(experiment_id)(fast=fast))
-    return results
+    specs = [get_spec(experiment_id) for experiment_id in selected]
+
+    results = {}
+    to_run = []
+    for spec in specs:
+        cached = cache.load(spec.experiment_id, fast) if cache else None
+        if cached is not None:
+            results[spec.experiment_id] = cached
+        elif spec.experiment_id not in results and not any(
+            s.experiment_id == spec.experiment_id for s in to_run
+        ):
+            to_run.append(spec)
+
+    for spec, result in zip(
+        to_run, execute(to_run, fast=fast, jobs=jobs, unit_timeout=unit_timeout)
+    ):
+        if cache is not None:
+            cache.store(spec.experiment_id, fast, result)
+        results[spec.experiment_id] = result
+
+    return [results[experiment_id] for experiment_id in selected]
+
+
+def _usage_error(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    print(__doc__, file=sys.stderr)
+    return 2
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     fast = True
-    if "--full" in args:
-        fast = False
-        args.remove("--full")
-    ids = args or None
+    jobs = 1
+    use_cache = True
+    cache_clear = False
+    unit_timeout: Optional[float] = None
+    ids: List[str] = []
+
+    iterator = iter(args)
+    for arg in iterator:
+        if arg == "--full":
+            fast = False
+        elif arg == "--no-cache":
+            use_cache = False
+        elif arg == "--cache-clear":
+            cache_clear = True
+        elif arg == "--jobs" or arg.startswith("--jobs="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(iterator, None)
+            if value is None or not value.lstrip("-").isdigit():
+                return _usage_error("--jobs needs an integer argument")
+            jobs = int(value)
+        elif arg == "--timeout" or arg.startswith("--timeout="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(iterator, None)
+            try:
+                unit_timeout = float(value)
+            except (TypeError, ValueError):
+                return _usage_error("--timeout needs a number of seconds")
+        elif arg.startswith("-"):
+            return _usage_error(f"unknown option {arg!r}")
+        else:
+            ids.append(arg)
+
+    cache = ResultCache() if use_cache else None
+    if cache_clear:
+        removed = ResultCache().clear()
+        print(f"cleared {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        if not ids:
+            return 0
+
+    unknown = [i for i in ids if i not in EXPERIMENT_IDS]
+    if unknown:
+        print(
+            f"error: unknown experiment id(s): {', '.join(sorted(unknown))}\n"
+            f"known ids: {' '.join(EXPERIMENT_IDS)}",
+            file=sys.stderr,
+        )
+        return 2
+
     start = time.time()
-    for result in run_experiments(ids, fast=fast):
+    for result in run_experiments(
+        ids or None, fast=fast, jobs=jobs, cache=cache, unit_timeout=unit_timeout
+    ):
         print(result.format_table())
         print()
-    print(f"[{time.time() - start:.1f}s total, fast={fast}]")
+    print(f"[{time.time() - start:.1f}s total, fast={fast}, jobs={jobs}]")
     return 0
 
 

@@ -4,8 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments.cache import CACHE_DIR_ENV
 from repro.tech.chiplet import tomahawk5
 from repro.topology.clos import folded_clos
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(monkeypatch, tmp_path):
+    """Point the experiment result cache at a per-test directory so tests
+    never read or write the working tree's ``.repro_cache/``."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "repro_cache"))
 
 
 @pytest.fixture

@@ -1,0 +1,23 @@
+"""Test-only experiment that fails everywhere (worker and parent)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+
+
+def units(fast: bool = True):
+    del fast
+    return ["only"]
+
+
+def run_unit(unit, fast: bool = True):
+    del unit, fast
+    raise RuntimeError("always broken")
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    raise AssertionError("merge should never be reached")
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast=fast)], fast=fast)

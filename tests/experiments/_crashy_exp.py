@@ -1,0 +1,39 @@
+"""Test-only experiment whose units crash in worker processes.
+
+Used by the scheduler tests: every unit raises when executed inside a
+pool worker (any process other than the pytest main process), so a
+parallel run exercises the retry-then-serial-fallback path and must
+still produce the same table as a serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.experiments.base import ExperimentResult
+
+
+def units(fast: bool = True):
+    del fast
+    return [0, 1, 2]
+
+
+def run_unit(unit, fast: bool = True):
+    del fast
+    if multiprocessing.current_process().name != "MainProcess":
+        raise RuntimeError(f"unit {unit} deliberately crashed in a worker")
+    return [(unit, unit * unit)]
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
+    return ExperimentResult(
+        experiment_id="crashy",
+        title="worker-crash fallback test",
+        headers=("unit", "square"),
+        rows=[row for rows in unit_results for row in rows],
+    )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast=fast)], fast=fast)

@@ -1,0 +1,38 @@
+"""Test-only experiment whose single unit hangs in worker processes.
+
+The sleep is bounded (not infinite) so abandoned workers exit on their
+own shortly after the scheduler's stall watchdog gives up on them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.experiments.base import ExperimentResult
+
+
+def units(fast: bool = True):
+    del fast
+    return ["only"]
+
+
+def run_unit(unit, fast: bool = True):
+    del unit, fast
+    if multiprocessing.current_process().name != "MainProcess":
+        time.sleep(3.0)
+    return [("awake",)]
+
+
+def merge(unit_results, fast: bool = True) -> ExperimentResult:
+    del fast
+    return ExperimentResult(
+        experiment_id="sleepy",
+        title="stall watchdog test",
+        headers=("state",),
+        rows=[row for rows in unit_results for row in rows],
+    )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    return merge([run_unit(u, fast=fast) for u in units(fast=fast)], fast=fast)

@@ -1,0 +1,148 @@
+"""Result cache: round-trip, hit/miss, and source-edit invalidation."""
+
+import importlib
+import textwrap
+
+import pytest
+
+from repro.experiments import cache as cache_mod
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cache import (
+    ResultCache,
+    cache_key,
+    source_fingerprint,
+    transitive_modules,
+)
+from repro.experiments.runner import run_experiments
+
+
+def _toy_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="fig01",
+        title="toy",
+        headers=("a", "b"),
+        rows=[(1, 2.5), ("x", True)],
+        notes=["a note"],
+    )
+
+
+def test_result_round_trips_through_dict():
+    result = _toy_result()
+    assert ExperimentResult.from_dict(result.to_dict()) == result
+
+
+def test_store_then_load_hits(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.load("fig01", fast=True) is None
+    path = cache.store("fig01", fast=True, result=_toy_result())
+    assert path.is_file()
+    assert cache.load("fig01", fast=True) == _toy_result()
+
+
+def test_fast_and_full_modes_are_distinct_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store("fig01", fast=True, result=_toy_result())
+    assert cache.load("fig01", fast=False) is None
+    assert cache_key("fig01", fast=True) != cache_key("fig01", fast=False)
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.store("fig01", fast=True, result=_toy_result())
+    cache.store("fig01", fast=False, result=_toy_result())
+    assert cache.clear() == 2
+    assert cache.load("fig01", fast=True) is None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.store("fig01", fast=True, result=_toy_result())
+    path.write_text("{not json")
+    assert cache.load("fig01", fast=True) is None
+
+
+def test_transitive_modules_track_real_dependencies():
+    fig07_deps = transitive_modules("repro.experiments.fig07")
+    assert "repro.experiments.fig07" in fig07_deps
+    assert "repro.core.explorer" in fig07_deps
+    assert "repro.mapping.exchange" in fig07_deps  # via core.design
+    assert not any(m.startswith("repro.netsim") for m in fig07_deps)
+
+    fig21_deps = transitive_modules("repro.experiments.fig21")
+    assert "repro.netsim.sim" in fig21_deps
+
+    # fig09 delegates to fig07, so it must inherit its dependency cone.
+    fig09_deps = set(transitive_modules("repro.experiments.fig09"))
+    assert set(fig07_deps) <= fig09_deps
+
+
+def test_source_edit_changes_fingerprint(tmp_path, monkeypatch):
+    pkg = tmp_path / "fingerprintpkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    module = pkg / "leaf.py"
+    module.write_text("VALUE = 1\n")
+    monkeypatch.syspath_prepend(str(tmp_path))
+    importlib.invalidate_caches()
+
+    names = ["fingerprintpkg.leaf"]
+    before = source_fingerprint(names)
+    assert before == source_fingerprint(names)  # deterministic
+    module.write_text("VALUE = 2\n")
+    assert source_fingerprint(names) != before
+
+
+def test_source_edit_busts_cache_key(tmp_path, monkeypatch):
+    """A changed dependency fingerprint makes the old entry unreachable."""
+    cache = ResultCache(tmp_path)
+    cache.store("fig01", fast=True, result=_toy_result())
+    assert cache.load("fig01", fast=True) is not None
+
+    original = cache_mod.source_fingerprint
+    monkeypatch.setattr(
+        cache_mod,
+        "source_fingerprint",
+        lambda names: "edited" + original(names),
+    )
+    assert cache.load("fig01", fast=True) is None
+
+
+def test_runner_serves_cached_result_without_recompute(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    (first,) = run_experiments(["tab06"], fast=True, cache=cache)
+
+    import repro.experiments.tab06 as tab06
+
+    def boom(fast=True):
+        raise AssertionError("cache should have served this")
+
+    monkeypatch.setattr(tab06, "run", boom)
+    (second,) = run_experiments(["tab06"], fast=True, cache=cache)
+    assert second == first
+
+
+def test_runner_without_cache_recomputes(monkeypatch):
+    calls = []
+    import repro.experiments.tab06 as tab06
+
+    original = tab06.run
+
+    def counting(fast=True):
+        calls.append(fast)
+        return original(fast=fast)
+
+    monkeypatch.setattr(tab06, "run", counting)
+    run_experiments(["tab06"], fast=True, cache=None)
+    run_experiments(["tab06"], fast=True, cache=None)
+    assert len(calls) == 2
+
+
+def test_default_cache_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "alt"))
+    assert cache_mod.default_cache_dir() == tmp_path / "alt"
+
+
+def test_entry_names_are_human_readable(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.store("fig01", fast=True, result=_toy_result())
+    assert path.name.startswith("fig01-fast-")
