@@ -1,0 +1,182 @@
+"""Mapping-engine benchmark: kernel speedup, restart scaling, store.
+
+Measures the three layers of the fast mapping stack on the 64-site
+(8x8) wafer Clos — ``folded_clos(4096)``, 48 sub-switch chiplets plus
+dummy-repeater spares, the largest wafer the analytical experiments
+map — and writes ``BENCH_mapping.json``:
+
+1. **kernel speedup** — scalar oracle vs vectorized kernel through
+   ``optimize_mapping`` at equal restarts (the ISSUE-4 acceptance
+   target is >=5x; costs must agree exactly or the fast engine must be
+   strictly better);
+2. **restart scaling** — fast-kernel wall time at 1/2/4/8 restarts,
+   serial and ``jobs=4``, showing full mode's higher restart budget is
+   affordable;
+3. **store timings** — cold optimize+persist vs warm fetch through
+   ``cached_mapping`` (acceptance: warm fetch under 50 ms).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mapping.py
+    PYTHONPATH=src python benchmarks/bench_mapping.py --quick
+
+Also collected by pytest as a quick smoke test (small instance).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.core.design import cached_mapping, clear_mapping_cache
+from repro.mapping.exchange import SCALAR_ENV, optimize_mapping
+from repro.mapping.grid import WaferGrid, grid_for
+from repro.mapping.routing import IOStyle
+from repro.topology.clos import folded_clos
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT_PATH = REPO_ROOT / "BENCH_mapping.json"
+
+
+def _time_optimize(topology, grid, scalar: bool, restarts: int, jobs: int = 1):
+    previous = os.environ.get(SCALAR_ENV)
+    os.environ[SCALAR_ENV] = "1" if scalar else "0"
+    try:
+        start = time.perf_counter()
+        result = optimize_mapping(
+            topology, grid=grid, restarts=restarts, seed=0, jobs=jobs
+        )
+        return time.perf_counter() - start, result
+    finally:
+        if previous is None:
+            os.environ.pop(SCALAR_ENV, None)
+        else:
+            os.environ[SCALAR_ENV] = previous
+
+
+def _store_timings(topology) -> dict:
+    """Cold optimize+persist vs warm fetch via ``cached_mapping``."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        try:
+            clear_mapping_cache()
+            start = time.perf_counter()
+            cold = cached_mapping(topology, IOStyle.PERIPHERY, restarts=1)
+            cold_s = time.perf_counter() - start
+            clear_mapping_cache()  # drop the memo; force the disk store
+            start = time.perf_counter()
+            warm = cached_mapping(topology, IOStyle.PERIPHERY, restarts=1)
+            warm_s = time.perf_counter() - start
+        finally:
+            clear_mapping_cache()
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous
+    assert warm.placement.site_of == cold.placement.site_of
+    return {
+        "cold_optimize_seconds": round(cold_s, 4),
+        "warm_fetch_seconds": round(warm_s, 4),
+        "warm_fetch_under_50ms": warm_s < 0.050,
+    }
+
+
+def run_bench(n_ports: int = 4096, restarts: int = 2) -> dict:
+    topology = folded_clos(n_ports)
+    grid = (
+        WaferGrid(8, 8) if n_ports == 4096 else grid_for(topology.chiplet_count)
+    )
+
+    scalar_s, scalar_result = _time_optimize(
+        topology, grid, scalar=True, restarts=restarts
+    )
+    fast_s, fast_result = _time_optimize(
+        topology, grid, scalar=False, restarts=restarts
+    )
+    print(
+        f"kernel @ {restarts} restarts: scalar {scalar_s:6.2f}s "
+        f"{scalar_result.cost()} vs fast {fast_s:6.2f}s {fast_result.cost()}"
+    )
+
+    scaling = {}
+    for n_restarts in (1, 2, 4, 8):
+        serial_s, _ = _time_optimize(
+            topology, grid, scalar=False, restarts=n_restarts
+        )
+        parallel_s, _ = _time_optimize(
+            topology, grid, scalar=False, restarts=n_restarts, jobs=4
+        )
+        scaling[str(n_restarts)] = {
+            "serial_seconds": round(serial_s, 3),
+            "jobs4_seconds": round(parallel_s, 3),
+        }
+        print(
+            f"restarts={n_restarts}: serial {serial_s:6.2f}s, "
+            f"jobs=4 {parallel_s:6.2f}s"
+        )
+
+    store = _store_timings(topology)
+    print(
+        f"store: cold {store['cold_optimize_seconds']:.3f}s, "
+        f"warm {store['warm_fetch_seconds'] * 1000:.1f}ms"
+    )
+
+    return {
+        "topology": topology.name,
+        "grid": [grid.rows, grid.cols],
+        "restarts": restarts,
+        "cpu_count": os.cpu_count(),
+        "scalar_seconds": round(scalar_s, 3),
+        "fast_seconds": round(fast_s, 3),
+        "kernel_speedup": round(scalar_s / fast_s, 1),
+        "scalar_cost": list(scalar_result.cost()),
+        "fast_cost": list(fast_result.cost()),
+        "fast_no_worse": fast_result.cost() <= scalar_result.cost(),
+        "restart_scaling": scaling,
+        "store": store,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small instance (1024 ports), no artifact written",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        report = run_bench(n_ports=1024, restarts=2)
+        print(json.dumps(report, indent=1))
+        return 0
+    report = run_bench(n_ports=4096, restarts=2)
+    ok = (
+        report["kernel_speedup"] >= 5.0
+        and report["fast_no_worse"]
+        and report["store"]["warm_fetch_under_50ms"]
+    )
+    print(
+        f"kernel speedup {report['kernel_speedup']}x, "
+        f"fast no worse: {report['fast_no_worse']}, "
+        f"warm fetch <50ms: {report['store']['warm_fetch_under_50ms']}"
+    )
+    ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {ARTIFACT_PATH}")
+    return 0 if ok else 1
+
+
+def test_mapping_bench_smoke():
+    """Tiny end-to-end pass: fast no worse than scalar, store under 50ms."""
+    report = run_bench(n_ports=1024, restarts=1)
+    assert report["fast_no_worse"]
+    assert report["store"]["warm_fetch_under_50ms"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,17 +4,18 @@ Times three runs of the same experiment suite through
 ``repro.experiments.runner.run_experiments``:
 
 1. **parallel cold** — work units fanned over ``--jobs`` processes,
-   no result cache (run first so the in-process mapping memo is cold
-   for both compute phases);
+   no result cache;
 2. **serial cold** — one process, storing into a fresh result cache;
 3. **warm cache** — the same suite again, served from the cache.
 
-Verifies the parallel tables are identical to the serial ones and
-writes ``BENCH_runner.json`` with all three wall-clocks plus the
-parallel and cache speedups. Parallel speedup scales with physical
-cores (a single-core container shows ~1x or a small regression because
-workers cannot share the in-process mapping memo); the cache speedup is
-machine-independent and must stay large.
+Both cold phases start from an empty in-process mapping memo AND an
+empty persistent mapping store (redirected into the benchmark's temp
+directory), so they measure genuine compute. Verifies the parallel
+tables are identical to the serial ones and writes
+``BENCH_runner.json`` with all three wall-clocks plus the parallel and
+cache speedups. Parallel speedup scales with physical cores (a
+single-core container shows ~1x or a small regression); the cache
+speedup is machine-independent and must stay large.
 
 Usage::
 
@@ -36,15 +37,18 @@ import time
 
 from repro.core.design import clear_mapping_cache
 from repro.experiments.base import EXPERIMENT_IDS
-from repro.experiments.cache import ResultCache
+from repro.experiments.cache import CACHE_DIR_ENV, ResultCache
 from repro.experiments.runner import run_experiments
+from repro.mapping.store import MappingStore
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 ARTIFACT_PATH = REPO_ROOT / "BENCH_runner.json"
 
 
-def _timed(label: str, **kwargs):
+def _timed(label: str, cold: bool = False, **kwargs):
     clear_mapping_cache()
+    if cold:
+        MappingStore().clear()
     start = time.perf_counter()
     results = run_experiments(**kwargs)
     elapsed = time.perf_counter() - start
@@ -55,16 +59,26 @@ def _timed(label: str, **kwargs):
 def run_bench(ids, fast: bool = True, jobs: int = 4) -> dict:
     ids = list(ids)
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
-        cache = ResultCache(cache_dir)
-        parallel, parallel_s = _timed(
-            "parallel cold", ids=ids, fast=fast, jobs=jobs
-        )
-        serial, serial_s = _timed(
-            "serial cold", ids=ids, fast=fast, jobs=1, cache=cache
-        )
-        warm, warm_s = _timed(
-            "warm cache", ids=ids, fast=fast, jobs=1, cache=cache
-        )
+        # Redirect the persistent mapping store into the temp dir too, so
+        # "cold" means cold and the repo's real store is untouched.
+        previous_env = os.environ.get(CACHE_DIR_ENV)
+        os.environ[CACHE_DIR_ENV] = cache_dir
+        try:
+            cache = ResultCache(cache_dir)
+            parallel, parallel_s = _timed(
+                "parallel cold", cold=True, ids=ids, fast=fast, jobs=jobs
+            )
+            serial, serial_s = _timed(
+                "serial cold", cold=True, ids=ids, fast=fast, jobs=1, cache=cache
+            )
+            warm, warm_s = _timed(
+                "warm cache", ids=ids, fast=fast, jobs=1, cache=cache
+            )
+        finally:
+            if previous_env is None:
+                os.environ.pop(CACHE_DIR_ENV, None)
+            else:
+                os.environ[CACHE_DIR_ENV] = previous_env
     rows_identical = parallel == serial and warm == serial
     report = {
         "experiments": ids,

@@ -61,6 +61,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         forwarded.append("--no-cache")
     if args.cache_clear:
         forwarded.append("--cache-clear")
+    if args.profile:
+        forwarded.append("--profile")
     if args.timeout is not None:
         forwarded.append(f"--timeout={args.timeout}")
     return runner_main(forwarded)
@@ -148,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-clear",
         action="store_true",
         help="wipe .repro_cache/ (then exit unless ids are given)",
+    )
+    experiments.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-unit wall time and mapping-store hit/miss table",
     )
     experiments.add_argument(
         "--timeout",

@@ -2,23 +2,32 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.constraints import ConstraintLimits, ConstraintReport
 from repro.core.power_breakdown import PowerBreakdown, power_breakdown
-from repro.mapping.exchange import MappingResult, optimize_mapping
+from repro.mapping.exchange import (
+    MappingResult,
+    mapping_engine_tag,
+    optimize_mapping,
+)
+from repro.mapping.grid import grid_for
 from repro.mapping.routing import IOStyle, available_bandwidth_per_port_gbps
+from repro.mapping.store import default_store, record_stat
 from repro.tech.external_io import ExternalIOTechnology, IOPlacement
 from repro.tech.wsi import WSITechnology
 from repro.topology.base import LogicalTopology
 from repro.units import require_positive
 
-#: Process-wide cache of optimized mappings: the explorer and the
-#: experiment suite repeatedly evaluate the same (topology, I/O style)
-#: combinations; pairwise exchange on the big Clos instances is the only
-#: expensive computation in the analytical model.
-_MAPPING_CACHE: Dict[Tuple[str, int, str, int, int], MappingResult] = {}
+#: In-process memo over the persistent mapping store: the explorer and
+#: the experiment suite repeatedly evaluate the same (topology, I/O
+#: style) combinations; pairwise exchange on the big Clos instances is
+#: the only expensive computation in the analytical model. Misses fall
+#: through to the on-disk store (:mod:`repro.mapping.store`), which
+#: parallel workers and separate runs share, before optimizing afresh.
+_MAPPING_CACHE: Dict[Tuple[str, int, str, int, int, str], MappingResult] = {}
 
 
 def io_style_for(external_io: Optional[ExternalIOTechnology]) -> IOStyle:
@@ -36,18 +45,50 @@ def cached_mapping(
     restarts: int = 2,
     seed: int = 0,
 ) -> MappingResult:
-    """Optimize (or fetch a cached) mapping for the topology."""
-    key = (topology.name, topology.chiplet_count, io_style.value, restarts, seed)
+    """Optimize (or fetch a cached) mapping for the topology.
+
+    Returns a defensive copy — callers may mutate the result (e.g.
+    ``swap_sites`` in a what-if sweep) without corrupting the memo or
+    the persistent store.
+    """
+    engine = mapping_engine_tag()
+    key = (
+        topology.name, topology.chiplet_count, io_style.value,
+        restarts, seed, engine,
+    )
     result = _MAPPING_CACHE.get(key)
-    if result is None:
+    if result is not None:
+        record_stat("memo_hits")
+        return result.copy()
+    grid = grid_for(topology.chiplet_count)
+    params = {
+        "restarts": restarts,
+        "seed": seed,
+        "strategy": "mixed",
+        "max_sweeps": 30,
+        "engine": engine,
+    }
+    store = default_store()
+    result = (
+        store.load(topology, grid, io_style, params) if store is not None else None
+    )
+    if result is not None:
+        record_stat("store_hits")
+    else:
+        started = time.perf_counter()
         result = optimize_mapping(
-            topology, io_style=io_style, restarts=restarts, seed=seed
+            topology, grid=grid, io_style=io_style, restarts=restarts, seed=seed
         )
-        _MAPPING_CACHE[key] = result
-    return result
+        record_stat("optimized")
+        record_stat("optimize_seconds", time.perf_counter() - started)
+        if store is not None:
+            store.store(result, topology, params)
+    _MAPPING_CACHE[key] = result
+    return result.copy()
 
 
 def clear_mapping_cache() -> None:
+    """Drop the in-process memo (the persistent store is unaffected)."""
     _MAPPING_CACHE.clear()
 
 

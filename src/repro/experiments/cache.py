@@ -8,22 +8,26 @@ stale results can never be served while unrelated edits keep the cache
 warm. Entries live as JSON files under ``.repro_cache/`` (override with
 the ``REPRO_CACHE_DIR`` environment variable).
 
-The dependency walk is static (AST import scan), so computing a key
-never executes experiment code.
+The dependency walk is static (AST import scan, shared with the
+mapping store via :mod:`repro.fingerprint`), so computing a key never
+executes experiment code.
 """
 
 from __future__ import annotations
 
-import ast
 import hashlib
-import importlib.util
 import json
 import os
-from functools import lru_cache
 from pathlib import Path
-from typing import Iterable, Optional, Tuple
+from typing import Optional
 
 from repro.experiments.base import ExperimentResult
+from repro.fingerprint import (  # noqa: F401 — re-exported; fingerprinting lives below the layer stack now
+    _direct_imports,
+    module_source_path,
+    source_fingerprint,
+    transitive_modules,
+)
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -44,70 +48,6 @@ def _mode_tag(fast: bool) -> str:
     ('fast', 'full')
     """
     return "fast" if fast else "full"
-
-
-def module_source_path(module_name: str) -> Optional[Path]:
-    """Filesystem path of a module's source, or None for non-file modules."""
-    try:
-        spec = importlib.util.find_spec(module_name)
-    except (ImportError, AttributeError, ValueError):
-        return None
-    if spec is None or not spec.origin or not spec.origin.endswith(".py"):
-        return None
-    return Path(spec.origin)
-
-
-def _direct_imports(source: str) -> Iterable[str]:
-    """Names of ``repro.*`` modules a source text imports directly.
-
-    ``from repro.a import b`` yields both ``repro.a`` and ``repro.a.b``
-    as candidates; non-module candidates are discarded by the resolver.
-    """
-    tree = ast.parse(source)
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name.split(".")[0] == "repro":
-                    yield alias.name
-        elif isinstance(node, ast.ImportFrom):
-            if node.level == 0 and node.module and node.module.split(".")[0] == "repro":
-                yield node.module
-                for alias in node.names:
-                    yield f"{node.module}.{alias.name}"
-
-
-@lru_cache(maxsize=None)
-def transitive_modules(module_name: str) -> Tuple[str, ...]:
-    """All ``repro`` modules reachable from ``module_name`` via imports,
-    including itself, sorted. Static AST walk — no code is executed."""
-    seen = set()
-    frontier = [module_name]
-    while frontier:
-        name = frontier.pop()
-        if name in seen:
-            continue
-        path = module_source_path(name)
-        if path is None:
-            continue
-        seen.add(name)
-        for candidate in _direct_imports(path.read_text()):
-            if candidate not in seen:
-                frontier.append(candidate)
-    return tuple(sorted(seen))
-
-
-def source_fingerprint(module_names: Iterable[str]) -> str:
-    """SHA-256 over the named modules' source bytes (order-independent)."""
-    digest = hashlib.sha256()
-    for name in sorted(set(module_names)):
-        path = module_source_path(name)
-        if path is None or not path.exists():
-            continue
-        digest.update(name.encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()
 
 
 def cache_key(experiment_id: str, fast: bool, module_name: Optional[str] = None) -> str:

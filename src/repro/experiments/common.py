@@ -22,7 +22,11 @@ def substrates(fast: bool) -> Sequence[float]:
 
 
 def mapping_restarts(fast: bool) -> int:
-    return 1 if fast else 2
+    """Seeded restarts per mapping; the paper uses 1000 random restarts
+    but reports <1 % spread between trials. Full mode affords 8 with
+    the vectorized exchange kernel (it used to afford 2 with the scalar
+    one); fast mode stays at 1 so test tables remain cheap and stable."""
+    return 1 if fast else 8
 
 
 def sim_scale(fast: bool) -> dict:

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments.runner --jobs 4         # parallel units
     python -m repro.experiments.runner --no-cache       # always recompute
     python -m repro.experiments.runner --cache-clear    # wipe the cache
+    python -m repro.experiments.runner --profile        # per-unit timings
 
 Results are cached under ``.repro_cache/`` keyed by experiment id, run
 mode, and a source hash of every module the experiment imports, so an
@@ -21,7 +22,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.base import (
     EXPERIMENT_IDS,
@@ -38,13 +39,16 @@ def run_experiments(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     unit_timeout: Optional[float] = None,
+    profile_out: Optional[List[dict]] = None,
 ) -> List[ExperimentResult]:
     """Run the given experiments (all when ids is None).
 
     ``jobs`` > 1 schedules independent work units across processes;
     passing a :class:`~repro.experiments.cache.ResultCache` serves
     up-to-date cached results and stores fresh ones. Output is
-    identical for every (jobs, cache) combination.
+    identical for every (jobs, cache) combination. ``profile_out``
+    collects one stats row per executed work unit (result-cache hits
+    appear as a single ``unit="cached"`` row).
     """
     selected = list(ids) if ids else list(EXPERIMENT_IDS)
     specs = [get_spec(experiment_id) for experiment_id in selected]
@@ -52,22 +56,87 @@ def run_experiments(
     results = {}
     to_run = []
     for spec in specs:
+        load_start = time.perf_counter()
         cached = cache.load(spec.experiment_id, fast) if cache else None
         if cached is not None:
             results[spec.experiment_id] = cached
+            if profile_out is not None:
+                profile_out.append(
+                    {
+                        "experiment_id": spec.experiment_id,
+                        "unit": "cached",
+                        "seconds": time.perf_counter() - load_start,
+                    }
+                )
         elif spec.experiment_id not in results and not any(
             s.experiment_id == spec.experiment_id for s in to_run
         ):
             to_run.append(spec)
 
     for spec, result in zip(
-        to_run, execute(to_run, fast=fast, jobs=jobs, unit_timeout=unit_timeout)
+        to_run,
+        execute(
+            to_run,
+            fast=fast,
+            jobs=jobs,
+            unit_timeout=unit_timeout,
+            profile_out=profile_out,
+        ),
     ):
         if cache is not None:
             cache.store(spec.experiment_id, fast, result)
         results[spec.experiment_id] = result
 
     return [results[experiment_id] for experiment_id in selected]
+
+
+def format_profile(rows: Sequence[dict]) -> str:
+    """Render the ``--profile`` table: wall time and mapping activity.
+
+    One line per work unit plus a per-experiment total; the trailing
+    summary is the quickest read on whether the mapping store is doing
+    its job (hits) or being missed (optimized from scratch).
+    """
+    headers = ("experiment", "unit", "seconds", "memo", "store", "optimized", "opt_s")
+    table: List[Tuple[str, ...]] = []
+
+    def fmt(row: dict, label_id: str, label_unit: str) -> Tuple[str, ...]:
+        return (
+            label_id,
+            label_unit,
+            f"{row.get('seconds', 0.0):.2f}",
+            f"{int(row.get('memo_hits', 0))}",
+            f"{int(row.get('store_hits', 0))}",
+            f"{int(row.get('optimized', 0))}",
+            f"{row.get('optimize_seconds', 0.0):.2f}",
+        )
+
+    by_experiment: dict = {}
+    for row in rows:
+        by_experiment.setdefault(row["experiment_id"], []).append(row)
+    totals = {"seconds": 0.0, "memo_hits": 0, "store_hits": 0, "optimized": 0,
+              "optimize_seconds": 0.0}
+    for experiment_id, unit_rows in by_experiment.items():
+        subtotal = dict.fromkeys(totals, 0.0)
+        for row in unit_rows:
+            if len(unit_rows) > 1:
+                table.append(fmt(row, experiment_id, str(row["unit"])))
+            for key in subtotal:
+                subtotal[key] += row.get(key, 0)
+        label_unit = "total" if len(unit_rows) > 1 else str(unit_rows[0]["unit"])
+        table.append(fmt(subtotal, experiment_id, label_unit))
+        for key in totals:
+            totals[key] += subtotal[key]
+    table.append(fmt(totals, "all", "total"))
+
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table)) for i in range(len(headers))
+    ]
+    lines = ["== profile: wall time and mapping-store activity per unit =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend("  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in table)
+    return "\n".join(lines)
 
 
 def _usage_error(message: str) -> int:
@@ -82,6 +151,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     jobs = 1
     use_cache = True
     cache_clear = False
+    profile = False
     unit_timeout: Optional[float] = None
     ids: List[str] = []
 
@@ -93,6 +163,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             use_cache = False
         elif arg == "--cache-clear":
             cache_clear = True
+        elif arg == "--profile":
+            profile = True
         elif arg == "--jobs" or arg.startswith("--jobs="):
             value = arg.split("=", 1)[1] if "=" in arg else next(iterator, None)
             if value is None or not value.lstrip("-").isdigit():
@@ -126,10 +198,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     start = time.time()
+    profile_rows: Optional[List[dict]] = [] if profile else None
     for result in run_experiments(
-        ids or None, fast=fast, jobs=jobs, cache=cache, unit_timeout=unit_timeout
+        ids or None,
+        fast=fast,
+        jobs=jobs,
+        cache=cache,
+        unit_timeout=unit_timeout,
+        profile_out=profile_rows,
     ):
         print(result.format_table())
+        print()
+    if profile_rows is not None:
+        print(format_profile(profile_rows))
         print()
     print(f"[{time.time() - start:.1f}s total, fast={fast}, jobs={jobs}]")
     return 0

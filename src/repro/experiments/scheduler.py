@@ -2,56 +2,47 @@
 
 :func:`execute` takes :class:`~repro.experiments.base.ExperimentSpec`
 handles, expands each into its independent work units, and runs every
-unit of every selected experiment through one shared
-``ProcessPoolExecutor``. Failure policy, in order:
-
-1. a unit that raises in a worker is **retried once** in the pool;
-2. a unit that fails twice, and every unit stranded by a broken pool or
-   a stall (no completion within ``unit_timeout`` seconds), **falls
-   back to serial execution** in the parent process;
-3. an error that also reproduces serially propagates — the experiment
-   is genuinely broken, not a scheduling casualty.
+unit of every selected experiment through one shared process pool. The
+pool mechanics — retry-once on worker failure, serial fallback for
+twice-failed or stranded units, stall watchdog — live in
+:func:`repro.parallel.pool_map`, shared with the mapping optimizer's
+parallel restarts.
 
 Workers receive only ``(module name, experiment id, unit index)``, so
 nothing un-picklable ever crosses the process boundary; each worker
 re-derives the unit list from the module's deterministic ``units()``.
 Merged results are bit-identical to a serial run because units share no
 mutable state (all simulator/mapping RNG is locally seeded).
+
+Every unit also reports a small stats dict — wall time plus the
+mapping-store activity it caused (:mod:`repro.mapping.store` counters
+diffed around the unit) — which :func:`execute` collects into
+``profile_out`` rows for the runner's ``--profile`` table.
 """
 
 from __future__ import annotations
 
-import sys
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.base import ExperimentResult, ExperimentSpec
-
-#: Placeholder for a unit result not yet produced.
-_UNSET = object()
-
-#: Total attempts per unit in the pool before serial fallback.
-MAX_POOL_ATTEMPTS = 2
+from repro.parallel import pool_map
 
 
-def _warn(message: str) -> None:
-    print(f"[scheduler] {message}", file=sys.stderr)
+def _execute_unit(
+    module_name: str, experiment_id: str, unit_index: int, fast: bool
+) -> Tuple[Any, Dict[str, float]]:
+    """Worker entry point: run one unit, measuring its mapping activity."""
+    from repro.mapping import store as mapping_store
 
-
-def _execute_unit(module_name: str, experiment_id: str, unit_index: int, fast: bool):
-    """Worker entry point: re-resolve the spec and run one unit."""
     spec = ExperimentSpec(experiment_id=experiment_id, module_name=module_name)
     units = spec.units(fast=fast)
-    return spec.run_unit(units[unit_index], fast=fast)
-
-
-@dataclass
-class _Task:
-    spec_index: int
-    unit_index: int
-    attempts: int = 0
+    before = mapping_store.stats_snapshot()
+    started = time.perf_counter()
+    result = spec.run_unit(units[unit_index], fast=fast)
+    stats = {"seconds": time.perf_counter() - started}
+    stats.update(mapping_store.stats_delta(before))
+    return result, stats
 
 
 def execute(
@@ -59,98 +50,46 @@ def execute(
     fast: bool = True,
     jobs: int = 1,
     unit_timeout: Optional[float] = None,
+    profile_out: Optional[List[Dict[str, Any]]] = None,
 ) -> List[ExperimentResult]:
     """Run the experiments, fanning work units over ``jobs`` processes.
 
     ``jobs <= 1`` runs everything serially in-process (no pool at all).
     ``unit_timeout`` is a stall watchdog: if no unit completes for that
-    many seconds, outstanding units are abandoned to serial fallback
-    (their worker processes are left to die with the pool).
+    many seconds, outstanding units are abandoned to serial fallback.
+    ``profile_out``, if given, receives one row per unit:
+    ``{"experiment_id", "unit", "seconds", <mapping-store counters>}``.
     """
     specs = list(specs)
     if not specs:
         return []
     unit_lists = [spec.units(fast=fast) for spec in specs]
-    unit_results: List[List[Any]] = [[_UNSET] * len(units) for units in unit_lists]
+    tasks = []
+    labels = []
+    owners = []
+    for spec, units in zip(specs, unit_lists):
+        for unit_index in range(len(units)):
+            tasks.append((spec.module_name, spec.experiment_id, unit_index, fast))
+            labels.append(f"{spec.experiment_id}[{unit_index}]")
+            owners.append((spec.experiment_id, unit_index))
 
-    if jobs > 1:
-        _run_pool(specs, unit_lists, unit_results, fast, jobs, unit_timeout)
+    outcomes = pool_map(
+        _execute_unit, tasks, jobs=jobs, timeout=unit_timeout, labels=labels
+    )
 
-    # Serial completion: everything the pool did not produce (all of it
-    # when jobs <= 1) runs in the parent, where errors propagate.
-    for spec, units, row in zip(specs, unit_lists, unit_results):
-        for index, unit in enumerate(units):
-            if row[index] is _UNSET:
-                row[index] = spec.run_unit(unit, fast=fast)
+    unit_results: List[List[Any]] = [[None] * len(units) for units in unit_lists]
+    cursor = 0
+    for spec_index, units in enumerate(unit_lists):
+        for unit_index in range(len(units)):
+            result, stats = outcomes[cursor]
+            unit_results[spec_index][unit_index] = result
+            if profile_out is not None:
+                row = {"experiment_id": owners[cursor][0], "unit": unit_index}
+                row.update(stats)
+                profile_out.append(row)
+            cursor += 1
 
     return [
         spec.merge(row, fast=fast)
         for spec, row in zip(specs, unit_results)
     ]
-
-
-def _run_pool(specs, unit_lists, unit_results, fast, jobs, unit_timeout) -> None:
-    """Best-effort parallel pass; leaves failed cells as ``_UNSET``."""
-    pool = ProcessPoolExecutor(max_workers=jobs)
-    futures = {}
-    broken = False
-
-    def submit(task: _Task) -> None:
-        task.attempts += 1
-        spec = specs[task.spec_index]
-        future = pool.submit(
-            _execute_unit,
-            spec.module_name,
-            spec.experiment_id,
-            task.unit_index,
-            fast,
-        )
-        futures[future] = task
-
-    try:
-        for spec_index, units in enumerate(unit_lists):
-            for unit_index in range(len(units)):
-                submit(_Task(spec_index, unit_index))
-        while futures and not broken:
-            done, _ = wait(
-                set(futures), timeout=unit_timeout, return_when=FIRST_COMPLETED
-            )
-            if not done:
-                _warn(
-                    f"no work unit completed within {unit_timeout}s; "
-                    f"abandoning {len(futures)} outstanding unit(s) to "
-                    "serial execution"
-                )
-                break
-            for future in done:
-                task = futures.pop(future)
-                spec = specs[task.spec_index]
-                label = f"{spec.experiment_id}[{task.unit_index}]"
-                try:
-                    unit_results[task.spec_index][task.unit_index] = future.result()
-                except BrokenProcessPool:
-                    broken = True
-                except Exception as exc:  # noqa: BLE001 — worker errors are policy here
-                    if task.attempts < MAX_POOL_ATTEMPTS:
-                        _warn(f"{label} failed in worker ({exc!r}); retrying")
-                        try:
-                            submit(task)
-                        except BrokenProcessPool:
-                            broken = True
-                    else:
-                        _warn(
-                            f"{label} failed {task.attempts}x in workers "
-                            f"({exc!r}); falling back to serial"
-                        )
-        if broken:
-            remaining = sum(
-                1 for row in unit_results for cell in row if cell is _UNSET
-            )
-            _warn(
-                f"process pool broke; running {remaining} unfinished "
-                "unit(s) serially"
-            )
-    except BrokenProcessPool:
-        _warn("process pool broke during submission; degrading to serial")
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,88 @@
+"""Static source fingerprinting shared by every on-disk cache.
+
+A **source fingerprint** is a hash over the source text of every
+``repro`` module a given module (transitively) imports — computed from
+a static AST import scan, so no code is ever executed to derive a
+cache key. Both the experiment result cache
+(:mod:`repro.experiments.cache`) and the persistent mapping store
+(:mod:`repro.mapping.store`) key their entries on these fingerprints;
+the helpers live here, below both, because imports in this codebase
+only point downward (see ``docs/architecture.md``).
+
+The scan is deliberately conservative: lazy imports inside function
+bodies are still found (``ast.walk`` visits them), so a module cannot
+hide a dependency from its fingerprint by deferring the import.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Optional, Tuple
+
+
+def module_source_path(module_name: str) -> Optional[Path]:
+    """Filesystem path of a module's source, or None for non-file modules."""
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ImportError, AttributeError, ValueError):
+        return None
+    if spec is None or not spec.origin or not spec.origin.endswith(".py"):
+        return None
+    return Path(spec.origin)
+
+
+def _direct_imports(source: str) -> Iterable[str]:
+    """Names of ``repro.*`` modules a source text imports directly.
+
+    ``from repro.a import b`` yields both ``repro.a`` and ``repro.a.b``
+    as candidates; non-module candidates are discarded by the resolver.
+    """
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module and node.module.split(".")[0] == "repro":
+                yield node.module
+                for alias in node.names:
+                    yield f"{node.module}.{alias.name}"
+
+
+@lru_cache(maxsize=None)
+def transitive_modules(module_name: str) -> Tuple[str, ...]:
+    """All ``repro`` modules reachable from ``module_name`` via imports,
+    including itself, sorted. Static AST walk — no code is executed."""
+    seen = set()
+    frontier = [module_name]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        path = module_source_path(name)
+        if path is None:
+            continue
+        seen.add(name)
+        for candidate in _direct_imports(path.read_text()):
+            if candidate not in seen:
+                frontier.append(candidate)
+    return tuple(sorted(seen))
+
+
+def source_fingerprint(module_names: Iterable[str]) -> str:
+    """SHA-256 over the named modules' source bytes (order-independent)."""
+    digest = hashlib.sha256()
+    for name in sorted(set(module_names)):
+        path = module_source_path(name)
+        if path is None or not path.exists():
+            continue
+        digest.update(name.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()

@@ -7,12 +7,26 @@ cost, until a full sweep makes no improvement. Cost is primarily
 total channel-hops as a tie-breaker (fewer hops = less internal I/O
 power; the paper's plain ``C(M)`` cost plateaus early without it).
 
-Swaps are evaluated incrementally: only the links incident to the two
-affected nodes (plus their external-boundary paths) are re-routed.
+Two interchangeable kernels implement the sweep:
+
+* the **scalar oracle** in this module (:func:`pairwise_exchange`):
+  pure-Python incremental re-routing of the links incident to the two
+  affected nodes. Simple, slow, and the definition of correctness.
+* the **fast kernel** in :mod:`repro.mapping.fast_exchange`:
+  delta-vectorized with numpy, replaying the oracle's accepted-swap
+  sequence exactly, plus an optional Kernighan-Lin-style escalation
+  pass that only ever improves the final cost.
+
+:func:`optimize_mapping` dispatches to the fast kernel unless
+``REPRO_SCALAR_MAPPING=1`` is set in the environment (the escape hatch
+for auditing the vectorized path against the oracle), and can fan its
+independent seeded restarts across a process pool (``jobs > 1``) with
+deterministic best-of selection.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
@@ -31,10 +45,35 @@ from repro.topology.base import LogicalTopology
 
 Cost = Tuple[int, int]
 
+#: Environment escape hatch: force the scalar oracle everywhere.
+SCALAR_ENV = "REPRO_SCALAR_MAPPING"
+
+
+def use_scalar_kernel() -> bool:
+    """Whether the environment pins mapping to the scalar oracle."""
+    return os.environ.get(SCALAR_ENV, "") == "1"
+
+
+def mapping_engine_tag(escalate: bool = True) -> str:
+    """Cache-key tag naming the kernel a mapping was produced with.
+
+    Scalar and fast-with-escalation results can differ (escalation only
+    improves cost, but the placement differs), so persisted mappings
+    must not be shared across engines.
+    """
+    if use_scalar_kernel():
+        return "scalar"
+    return "fast-esc" if escalate else "fast"
+
 
 @dataclass
 class MappingResult:
-    """A mapped topology: placement plus its routed edge loads."""
+    """A mapped topology: placement plus its routed edge loads.
+
+    ``placement`` is owned by the result (optimizers hand over a
+    defensive copy), so mutating it — e.g. ``swap_sites`` in a what-if
+    sweep — cannot corrupt optimizer or cache state.
+    """
 
     placement: Placement
     loads: EdgeLoads
@@ -52,6 +91,16 @@ class MappingResult:
 
     def cost(self) -> Cost:
         return (self.max_edge_channels, self.total_channel_hops)
+
+    def copy(self) -> "MappingResult":
+        """Deep-enough copy: shares nothing mutable with the original."""
+        return MappingResult(
+            placement=self.placement.copy(),
+            loads=self.loads.copy(),
+            io_style=self.io_style,
+            sweeps=self.sweeps,
+            swaps_accepted=self.swaps_accepted,
+        )
 
 
 def _cost(loads: EdgeLoads) -> Cost:
@@ -82,8 +131,17 @@ def pairwise_exchange(
     placement: Placement,
     io_style: IOStyle = IOStyle.PERIPHERY,
     max_sweeps: int = 30,
+    record_swaps: Optional[list] = None,
 ) -> MappingResult:
-    """Run Algorithm 1 to convergence (or ``max_sweeps``) in place."""
+    """Run Algorithm 1 to convergence (or ``max_sweeps``).
+
+    Contract: ``placement`` is optimized **in place** (it ends up in the
+    final optimized state), but the returned result holds a defensive
+    copy — callers may keep mutating their placement, or the result's,
+    without the two aliasing. ``record_swaps``, if given, collects every
+    accepted ``(site_i, site_j)`` in order (used by the fast/scalar
+    equivalence tests).
+    """
     topology = placement.topology
     incident = incident_links(topology)
     loads = compute_edge_loads(placement, io_style)
@@ -111,17 +169,51 @@ def pairwise_exchange(
                     best_cost = new_cost
                     swaps_accepted += 1
                     improved = True
+                    if record_swaps is not None:
+                        record_swaps.append((site_i, site_j))
                 else:
                     _apply_nodes(loads, placement, affected, incident, io_style, -1)
                     placement.swap_sites(site_i, site_j)
                     _apply_nodes(loads, placement, affected, incident, io_style, +1)
 
     return MappingResult(
-        placement=placement,
+        placement=placement.copy(),
         loads=loads,
         io_style=io_style,
         sweeps=sweeps,
         swaps_accepted=swaps_accepted,
+    )
+
+
+def _run_restart(
+    topology: LogicalTopology,
+    grid: WaferGrid,
+    io_style: IOStyle,
+    strategy: str,
+    seed: int,
+    restart: int,
+    max_sweeps: int,
+    scalar: bool,
+    escalate: bool,
+) -> MappingResult:
+    """One seeded restart: build the start, run the selected kernel.
+
+    Module-level (not a closure) so parallel restarts can ship it to
+    pool workers; everything it touches is deterministic in its
+    arguments, so worker and in-process execution agree bit-for-bit.
+    """
+    if strategy == "mixed":
+        start_strategy = "random" if restart % 2 == 0 else "leaves_out"
+    else:
+        start_strategy = strategy
+    rng = random.Random(seed + restart)
+    start = initial_placement(topology, grid, strategy=start_strategy, rng=rng)
+    if scalar:
+        return pairwise_exchange(start, io_style, max_sweeps=max_sweeps)
+    from repro.mapping.fast_exchange import pairwise_exchange_fast
+
+    return pairwise_exchange_fast(
+        start, io_style, max_sweeps=max_sweeps, escalate=escalate
     )
 
 
@@ -133,6 +225,8 @@ def optimize_mapping(
     seed: int = 0,
     strategy: str = "mixed",
     max_sweeps: int = 30,
+    jobs: int = 1,
+    escalate: bool = True,
 ) -> MappingResult:
     """Multi-restart pairwise exchange; returns the best mapping found.
 
@@ -141,20 +235,30 @@ def optimize_mapping(
     leaves-out-heuristic starts by default (``strategy="mixed"``) —
     random starts escape the heuristic's local optima on mid-size Clos
     instances while the heuristic wins on boundary-constrained ones.
+
+    ``jobs > 1`` fans the independent restarts over a process pool;
+    selection is deterministic either way — lowest cost wins, ties
+    broken by restart index — so serial and parallel runs return the
+    same mapping. ``escalate`` enables the fast kernel's plateau pass
+    (ignored on the scalar path).
     """
     if grid is None:
         grid = grid_for(topology.chiplet_count)
-    best: Optional[MappingResult] = None
-    for restart in range(max(1, restarts)):
-        if strategy == "mixed":
-            start_strategy = "random" if restart % 2 == 0 else "leaves_out"
-        else:
-            start_strategy = strategy
-        rng = random.Random(seed + restart)
-        start = initial_placement(
-            topology, grid, strategy=start_strategy, rng=rng
-        )
-        result = pairwise_exchange(start, io_style, max_sweeps=max_sweeps)
-        if best is None or result.cost() < best.cost():
+    scalar = use_scalar_kernel()
+    n_restarts = max(1, restarts)
+    tasks = [
+        (topology, grid, io_style, strategy, seed, restart, max_sweeps, scalar, escalate)
+        for restart in range(n_restarts)
+    ]
+    if jobs > 1 and n_restarts > 1:
+        from repro.parallel import pool_map
+
+        labels = [f"restart[{r}]" for r in range(n_restarts)]
+        results = pool_map(_run_restart, tasks, jobs=jobs, labels=labels)
+    else:
+        results = [_run_restart(*task) for task in tasks]
+    best = results[0]
+    for result in results[1:]:
+        if result.cost() < best.cost():
             best = result
     return best

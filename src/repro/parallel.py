@@ -1,0 +1,132 @@
+"""Generic process-pool map with retry-once and serial fallback.
+
+Factored out of the experiment scheduler so lower layers — the mapping
+optimizer's parallel restarts — can reuse the same failure policy
+without importing the experiments package. :func:`pool_map` runs
+``fn(*task)`` for every task and returns results in task order. Policy,
+in order:
+
+1. a task that raises in a worker is **retried once** in the pool;
+2. a task that fails twice, and every task stranded by a broken pool or
+   a stall (no completion within ``timeout`` seconds), **falls back to
+   serial execution** in the parent process;
+3. an error that also reproduces serially propagates — the work is
+   genuinely broken, not a scheduling casualty.
+
+``fn`` must be a module-level callable and every task tuple picklable.
+With ``jobs <= 1`` (or a single task) no pool is created at all and
+everything runs serially in-process.
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from concurrent.futures.process import BrokenProcessPool
+
+#: Placeholder for a result not yet produced.
+_UNSET = object()
+
+#: Total attempts per task in the pool before serial fallback.
+MAX_POOL_ATTEMPTS = 2
+
+
+def _warn(message: str) -> None:
+    print(f"[scheduler] {message}", file=sys.stderr)
+
+
+@dataclass
+class _Task:
+    index: int
+    attempts: int = 0
+
+
+def pool_map(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> List[Any]:
+    """Ordered ``[fn(*task) for task in tasks]`` fanned over ``jobs`` processes.
+
+    ``timeout`` is a stall watchdog: if no task completes for that many
+    seconds, outstanding tasks are abandoned to serial fallback (their
+    worker processes are left to die with the pool). ``labels`` names
+    tasks in warnings.
+    """
+    tasks = list(tasks)
+    results: List[Any] = [_UNSET] * len(tasks)
+    if jobs > 1 and tasks:
+        _run_pool(fn, tasks, results, jobs, timeout, labels)
+    # Serial completion: everything the pool did not produce (all of it
+    # when jobs <= 1) runs in the parent, where errors propagate.
+    for index, task in enumerate(tasks):
+        if results[index] is _UNSET:
+            results[index] = fn(*task)
+    return results
+
+
+def _label(labels: Optional[Sequence[str]], index: int) -> str:
+    if labels is not None and index < len(labels):
+        return labels[index]
+    return f"task[{index}]"
+
+
+def _run_pool(fn, tasks, results, jobs, timeout, labels) -> None:
+    """Best-effort parallel pass; leaves failed cells as ``_UNSET``."""
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    futures = {}
+    broken = False
+
+    def submit(task: _Task) -> None:
+        task.attempts += 1
+        future = pool.submit(fn, *tasks[task.index])
+        futures[future] = task
+
+    try:
+        for index in range(len(tasks)):
+            submit(_Task(index))
+        while futures and not broken:
+            done, _ = wait(
+                set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                _warn(
+                    f"no work unit completed within {timeout}s; "
+                    f"abandoning {len(futures)} outstanding unit(s) to "
+                    "serial execution"
+                )
+                break
+            for future in done:
+                task = futures.pop(future)
+                label = _label(labels, task.index)
+                try:
+                    results[task.index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                except Exception as exc:  # noqa: BLE001 — worker errors are policy here
+                    if task.attempts < MAX_POOL_ATTEMPTS:
+                        _warn(f"{label} failed in worker ({exc!r}); retrying")
+                        try:
+                            submit(task)
+                        except BrokenProcessPool:
+                            broken = True
+                    else:
+                        _warn(
+                            f"{label} failed {task.attempts}x in workers "
+                            f"({exc!r}); falling back to serial"
+                        )
+        if broken:
+            remaining = sum(1 for cell in results if cell is _UNSET)
+            _warn(
+                f"process pool broke; running {remaining} unfinished "
+                "unit(s) serially"
+            )
+    except BrokenProcessPool:
+        _warn("process pool broke during submission; degrading to serial")
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

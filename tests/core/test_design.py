@@ -76,17 +76,38 @@ def test_describe_mentions_feasibility(small_clos):
     assert "feasible" in point.describe()
 
 
-def test_mapping_cache_hits(small_clos):
+def test_mapping_cache_hits_return_equal_defensive_copies(small_clos):
+    from repro.mapping import store as mapping_store
+
     clear_mapping_cache()
+    mapping_store.reset_stats()
     first = cached_mapping(small_clos, IOStyle.PERIPHERY)
     second = cached_mapping(small_clos, IOStyle.PERIPHERY)
-    assert first is second
+    # Same mapping, distinct objects: callers can't corrupt the cache.
+    assert first is not second
+    assert first.placement.site_of == second.placement.site_of
+    assert first.cost() == second.cost()
+    assert mapping_store.stats_snapshot()["memo_hits"] >= 1
+
+
+def test_mapping_cache_survives_caller_mutation(small_clos):
+    clear_mapping_cache()
+    first = cached_mapping(small_clos, IOStyle.PERIPHERY)
+    pristine = list(first.placement.site_of)
+    first.placement.swap_sites(0, 1)
+    again = cached_mapping(small_clos, IOStyle.PERIPHERY)
+    assert again.placement.site_of == pristine
 
 
 def test_mapping_cache_distinguishes_io_style(small_clos):
+    from repro.core import design
+
+    clear_mapping_cache()
     periphery = cached_mapping(small_clos, IOStyle.PERIPHERY)
     area = cached_mapping(small_clos, IOStyle.AREA)
-    assert periphery is not area
+    assert periphery.io_style is IOStyle.PERIPHERY
+    assert area.io_style is IOStyle.AREA
+    assert len(design._MAPPING_CACHE) == 2
 
 
 def test_invalid_substrate_rejected(small_clos):

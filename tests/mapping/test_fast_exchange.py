@@ -1,0 +1,160 @@
+"""Fast/scalar kernel equivalence and the parallel-restart dispatcher."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.exchange import (
+    mapping_engine_tag,
+    optimize_mapping,
+    pairwise_exchange,
+)
+from repro.mapping.fast_exchange import _expand_runs, pairwise_exchange_fast
+from repro.mapping.grid import WaferGrid, grid_for
+from repro.mapping.placement import initial_placement
+from repro.mapping.routing import IOStyle, compute_edge_loads
+from repro.tech.chiplet import SubSwitchChiplet
+from repro.topology.clos import folded_clos
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def clos_1024():
+    return folded_clos(1024)
+
+
+def _small_ssc(radix: int) -> SubSwitchChiplet:
+    return SubSwitchChiplet(
+        name=f"test-{radix}",
+        radix=radix,
+        port_bandwidth_gbps=200.0,
+        area_mm2=100.0,
+        core_power_w=50.0,
+    )
+
+
+def _both_kernels(topology, grid, seed, strategy, io_style):
+    """Run scalar and fast (no escalation) from the same start."""
+    start_a = initial_placement(
+        topology, grid, strategy=strategy, rng=random.Random(seed)
+    )
+    start_b = start_a.copy()
+    swaps_a, swaps_b = [], []
+    scalar = pairwise_exchange(start_a, io_style, record_swaps=swaps_a)
+    fast = pairwise_exchange_fast(
+        start_b, io_style, escalate=False, record_swaps=swaps_b
+    )
+    return scalar, fast, swaps_a, swaps_b
+
+
+def test_expand_runs_matches_naive():
+    start = np.array([3, 10, 0, 7], dtype=np.int64)
+    step = np.array([1, 4, 1, 2], dtype=np.int64)
+    length = np.array([3, 2, 0, 4], dtype=np.int64)
+    ids, run_of = _expand_runs(start, step, length)
+    expect_ids, expect_runs = [], []
+    for run, (s, t, n) in enumerate(zip(start, step, length)):
+        for k in range(n):
+            expect_ids.append(s + k * t)
+            expect_runs.append(run)
+    assert ids.tolist() == expect_ids
+    assert run_of.tolist() == expect_runs
+
+
+def test_expand_runs_all_empty():
+    ids, run_of = _expand_runs(
+        np.array([5], dtype=np.int64),
+        np.array([1], dtype=np.int64),
+        np.array([0], dtype=np.int64),
+    )
+    assert ids.size == 0 and run_of.size == 0
+
+
+@pytest.mark.parametrize("io_style", [IOStyle.PERIPHERY, IOStyle.AREA])
+@pytest.mark.parametrize("strategy", ["random", "leaves_out"])
+def test_fast_replays_scalar_swap_sequence(clos_1024, io_style, strategy):
+    grid = grid_for(clos_1024.chiplet_count)
+    scalar, fast, swaps_a, swaps_b = _both_kernels(
+        clos_1024, grid, seed=3, strategy=strategy, io_style=io_style
+    )
+    assert swaps_a == swaps_b
+    assert scalar.placement.site_of == fast.placement.site_of
+    assert scalar.cost() == fast.cost()
+    assert (scalar.loads.h == fast.loads.h).all()
+    assert (scalar.loads.v == fast.loads.v).all()
+    assert scalar.sweeps == fast.sweeps
+    assert scalar.swaps_accepted == fast.swaps_accepted
+
+
+@given(
+    k=st.sampled_from([4, 8]),
+    m=st.integers(min_value=2, max_value=6),
+    spare_rows=st.integers(min_value=0, max_value=2),
+    seed=st.integers(min_value=0, max_value=10_000),
+    io_style=st.sampled_from([IOStyle.PERIPHERY, IOStyle.AREA, IOStyle.NONE]),
+)
+@settings(max_examples=25, deadline=None)
+def test_fast_equals_scalar_on_random_instances(k, m, spare_rows, seed, io_style):
+    """Property: identical cost AND accepted-swap sequence everywhere."""
+    topology = folded_clos(k * m, ssc=_small_ssc(k))
+    base = grid_for(topology.chiplet_count)
+    grid = WaferGrid(base.rows + spare_rows, base.cols)
+    scalar, fast, swaps_a, swaps_b = _both_kernels(
+        topology, grid, seed=seed, strategy="random", io_style=io_style
+    )
+    assert swaps_a == swaps_b
+    assert scalar.cost() == fast.cost()
+    assert scalar.placement.site_of == fast.placement.site_of
+
+
+@given(
+    k=st.sampled_from([4, 8]),
+    m=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_escalation_never_worse_and_loads_consistent(k, m, seed):
+    """Escalated fast runs may only improve on the scalar cost, and
+    their incremental load accounting must match a fresh recompute."""
+    topology = folded_clos(k * m, ssc=_small_ssc(k))
+    grid = grid_for(topology.chiplet_count)
+    start_a = initial_placement(
+        topology, grid, strategy="random", rng=random.Random(seed)
+    )
+    start_b = start_a.copy()
+    scalar = pairwise_exchange(start_a, IOStyle.PERIPHERY)
+    fast = pairwise_exchange_fast(start_b, IOStyle.PERIPHERY, escalate=True)
+    assert fast.cost() <= scalar.cost()
+    fresh = compute_edge_loads(fast.placement, IOStyle.PERIPHERY)
+    assert fresh.max_edge_channels == fast.max_edge_channels
+    assert fresh.total_channel_hops == fast.total_channel_hops
+
+
+def test_scalar_escape_hatch_forces_oracle(clos_1024, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALAR_MAPPING", "1")
+    assert mapping_engine_tag() == "scalar"
+    via_env = optimize_mapping(clos_1024, restarts=2, seed=4)
+    monkeypatch.delenv("REPRO_SCALAR_MAPPING")
+    assert mapping_engine_tag() == "fast-esc"
+    fast = optimize_mapping(clos_1024, restarts=2, seed=4)
+    # The fast engine must be at least as good; on this instance it
+    # lands on the same optimum from the same starts.
+    assert fast.cost() <= via_env.cost()
+
+
+def test_parallel_restarts_match_serial(clos_1024):
+    serial = optimize_mapping(clos_1024, restarts=4, seed=7, jobs=1)
+    parallel = optimize_mapping(clos_1024, restarts=4, seed=7, jobs=2)
+    assert serial.cost() == parallel.cost()
+    assert serial.placement.site_of == parallel.placement.site_of
+
+
+def test_optimize_result_owns_its_placement(clos_1024):
+    """Mutating a returned mapping cannot corrupt later optimizations."""
+    first = optimize_mapping(clos_1024, restarts=1, seed=2)
+    pristine = list(first.placement.site_of)
+    first.placement.swap_sites(0, 1)
+    again = optimize_mapping(clos_1024, restarts=1, seed=2)
+    assert again.placement.site_of == pristine

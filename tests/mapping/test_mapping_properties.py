@@ -55,6 +55,39 @@ def test_boundary_path_reaches_site(grid, data):
 @given(
     st.sampled_from([512, 1024, 1536]),
     st.integers(min_value=0, max_value=100),
+    st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_placement_inversion_and_swap_round_trip(n_ports, seed, data):
+    """site_of/node_at stay mutually inverse; swapping twice is identity."""
+    from repro.mapping.placement import EMPTY
+
+    topo = folded_clos(n_ports)
+    placement = initial_placement(
+        topo, strategy="random", rng=random.Random(seed)
+    )
+    before_site_of = list(placement.site_of)
+    before_node_at = list(placement.node_at)
+    a = data.draw(
+        st.integers(min_value=0, max_value=placement.grid.sites - 1), label="a"
+    )
+    b = data.draw(
+        st.integers(min_value=0, max_value=placement.grid.sites - 1), label="b"
+    )
+    placement.swap_sites(a, b)
+    for node, site in enumerate(placement.site_of):
+        assert placement.node_at[site] == node
+    for site, node in enumerate(placement.node_at):
+        if node != EMPTY:
+            assert placement.site_of[node] == site
+    placement.swap_sites(a, b)
+    assert placement.site_of == before_site_of
+    assert placement.node_at == before_node_at
+
+
+@given(
+    st.sampled_from([512, 1024, 1536]),
+    st.integers(min_value=0, max_value=100),
     st.sampled_from(list(IOStyle)),
 )
 @settings(max_examples=15, deadline=None)
