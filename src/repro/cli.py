@@ -65,6 +65,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         forwarded.append("--profile")
     if args.timeout is not None:
         forwarded.append(f"--timeout={args.timeout}")
+    if args.telemetry is not None:
+        forwarded.append(
+            f"--telemetry={args.telemetry}" if args.telemetry else "--telemetry"
+        )
     return runner_main(forwarded)
 
 
@@ -74,6 +78,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         waferscale_clos_network,
     )
     from repro.netsim.sim import load_latency_sweep
+    from repro.netsim.telemetry import Telemetry
     from repro.netsim.traffic import make_pattern
 
     common = dict(
@@ -83,13 +88,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         buffer_flits_per_port=args.buffer,
     )
     loads = [float(x) for x in args.loads.split(",")]
+    reports = {}
     for label, factory in (
         ("waferscale", lambda: waferscale_clos_network(**common)),
         ("switch-network", lambda: baseline_switch_network(**common)),
     ):
+        sinks = []
+
+        def point_telemetry(load, _sinks=sinks):
+            telemetry = Telemetry()
+            _sinks.append((load, telemetry))
+            return telemetry
+
         points = load_latency_sweep(
-            factory, lambda n: make_pattern(args.pattern, n), loads
+            factory,
+            lambda n: make_pattern(args.pattern, n),
+            loads,
+            telemetry_factory=point_telemetry if args.telemetry else None,
         )
+        for load, telemetry in sinks:
+            reports[f"{label}/load={load:g}"] = telemetry.to_dict()
         print(f"\n{label} ({args.pattern}):")
         for point in points:
             print(
@@ -99,6 +117,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"{point.accepted_load:.3f}"
                 + ("  [saturated]" if point.saturated else "")
             )
+    if args.telemetry:
+        # One bundle file: a report per (network, load) sweep point.
+        import json
+        import pathlib
+
+        target = pathlib.Path(args.telemetry)
+        if target.parent != pathlib.Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(
+                {"schema": "repro-netsim-telemetry-bundle", "reports": reports},
+                indent=1,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"\ntelemetry bundle written to {target}")
     return 0
 
 
@@ -162,6 +197,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-unit stall watchdog in seconds (falls back to serial)",
     )
+    experiments.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="write per-point simulator telemetry JSON under DIR "
+        "(default telemetry/); implies --no-cache",
+    )
     experiments.set_defaults(func=_cmd_experiments)
 
     simulate = sub.add_parser("simulate", help="cycle-accurate comparison")
@@ -171,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--buffer", type=int, default=16)
     simulate.add_argument("--pattern", default="uniform")
     simulate.add_argument("--loads", default="0.1,0.3,0.5,0.7")
+    simulate.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="OUT.json",
+        help="write a telemetry bundle (one report per network x load) "
+        "to this JSON file",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     usecases = sub.add_parser("usecases", help="deployment tables")

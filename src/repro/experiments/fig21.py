@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
+from repro.experiments.telemetry_io import telemetry_sink, write_point_telemetry
 from repro.netsim.network import clos_network
 from repro.netsim.packet import reset_packet_ids
 from repro.netsim.config import RouterConfig
@@ -67,12 +68,15 @@ def run_unit(unit, fast: bool = True):
             io_latency=1,
         )
 
+    telemetry = telemetry_sink()
     throughput = saturation_throughput(
         factory,
         lambda n: make_pattern("uniform", n),
         warmup_cycles=scale["warmup_cycles"],
         measure_cycles=scale["measure_cycles"],
+        telemetry=telemetry,
     )
+    write_point_telemetry(telemetry, "fig21", f"l{latency}_b{buffer_size}")
     return [(latency, latency * 20, buffer_size, round(throughput, 3))]
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
+from repro.experiments.telemetry_io import telemetry_sink, write_point_telemetry
 from repro.netsim.config import RouterConfig
 from repro.netsim.network import clos_network
 from repro.netsim.packet import reset_packet_ids
@@ -58,13 +59,26 @@ def run_unit(unit, fast: bool = True):
     reset_packet_ids()
     scale = sim_scale(fast)
     factory = _factory(scale, routing_delay, ingress_delay)
+
+    def point_telemetry(load):
+        telemetry = telemetry_sink()
+        if telemetry is not None:
+            sweep_sinks.append((load, telemetry))
+        return telemetry
+
+    sweep_sinks = []
     points = load_latency_sweep(
         factory,
         lambda n: make_pattern("uniform", n),
         loads=scale["loads"],
         warmup_cycles=scale["warmup_cycles"],
         measure_cycles=scale["measure_cycles"],
+        telemetry_factory=point_telemetry,
     )
+    for load, telemetry in sweep_sinks:
+        write_point_telemetry(
+            telemetry, "fig22", f"rc{routing_delay}_load{load:.2f}"
+        )
     rows = [
         (
             label,
@@ -75,12 +89,15 @@ def run_unit(unit, fast: bool = True):
         )
         for point in points
     ]
+    telemetry = telemetry_sink()
     saturation = saturation_throughput(
         factory,
         lambda n: make_pattern("uniform", n),
         warmup_cycles=scale["warmup_cycles"],
         measure_cycles=scale["measure_cycles"],
+        telemetry=telemetry,
     )
+    write_point_telemetry(telemetry, "fig22", f"rc{routing_delay}_saturation")
     return {"rows": rows, "saturation": saturation}
 
 

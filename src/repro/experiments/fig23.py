@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
+from repro.experiments.telemetry_io import telemetry_sink, write_point_telemetry
 from repro.netsim.network import baseline_switch_network, waferscale_clos_network
 from repro.netsim.packet import reset_packet_ids
 from repro.netsim.sim import load_latency_sweep, saturation_throughput
@@ -57,11 +58,16 @@ def run_unit(unit, fast: bool = True):
         warmup_cycles=scale["warmup_cycles"],
         measure_cycles=scale["measure_cycles"],
     )
+    telemetry = telemetry_sink()
     throughput = saturation_throughput(
         factory,
         lambda n: make_pattern(pattern_name, n),
         warmup_cycles=scale["warmup_cycles"],
         measure_cycles=scale["measure_cycles"],
+        telemetry=telemetry,
+    )
+    write_point_telemetry(
+        telemetry, "fig23", f"{pattern_name}_{label}_saturation"
     )
     low_load_latency = points[0].avg_latency_cycles
     return {

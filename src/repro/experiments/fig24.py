@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
+from repro.experiments.telemetry_io import telemetry_sink, write_point_telemetry
 from repro.netsim.network import baseline_switch_network, waferscale_clos_network
 from repro.netsim.packet import reset_packet_ids
 from repro.netsim.trace import (
@@ -27,12 +28,21 @@ TRACES_FULL = ("lulesh", "mocfe", "multigrid", "nekbone")
 NETWORK_LABELS = ("waferscale", "switch-network")
 
 
-def _sustained_throughput(network_factory, events, n_terminals, compressions):
+def _sustained_throughput(
+    network_factory, events, n_terminals, compressions, point_slug=None
+):
     """Highest delivered flit rate across compression levels."""
     best = 0.0
     for compression in compressions:
         network = network_factory()
-        stats = replay_trace(network, events, compression=compression)
+        telemetry = telemetry_sink()
+        stats = replay_trace(
+            network, events, compression=compression, telemetry=telemetry
+        )
+        if point_slug is not None:
+            write_point_telemetry(
+                telemetry, "fig24", f"{point_slug}_c{compression:g}"
+            )
         cycles = max(stats.measure_end, 1)
         throughput = stats.flits_delivered / cycles / n_terminals
         best = max(best, throughput)
@@ -70,7 +80,9 @@ def run_unit(unit, fast: bool = True):
         factory = lambda: waferscale_clos_network(**common)  # noqa: E731
     else:
         factory = lambda: baseline_switch_network(**common)  # noqa: E731
-    throughput = _sustained_throughput(factory, events, n, compressions)
+    throughput = _sustained_throughput(
+        factory, events, n, compressions, point_slug=f"{trace_name}_{label}"
+    )
     return {"trace": trace_name, "label": label, "throughput": throughput}
 
 

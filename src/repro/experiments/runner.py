@@ -9,6 +9,8 @@ Usage::
     python -m repro.experiments.runner --no-cache       # always recompute
     python -m repro.experiments.runner --cache-clear    # wipe the cache
     python -m repro.experiments.runner --profile        # per-unit timings
+    python -m repro.experiments.runner fig21 --telemetry[=DIR]
+                                        # per-point telemetry artifacts
 
 Results are cached under ``.repro_cache/`` keyed by experiment id, run
 mode, and a source hash of every module the experiment imports, so an
@@ -16,10 +18,18 @@ unchanged experiment returns instantly; editing any of its modules
 recomputes it (see :mod:`repro.experiments.cache`). ``--jobs N`` fans
 the experiments' independent work units across N processes (see
 :mod:`repro.experiments.scheduler`).
+
+``--telemetry`` makes the simulation figures (fig21-fig24) write one
+structured-JSON telemetry report per simulated point under ``DIR``
+(default ``telemetry/``), e.g. ``telemetry/fig21/l1_b4.json`` — see
+``docs/netsim.md`` for the schema. It implies ``--no-cache`` for the
+selected run: a cached result would skip the simulations that emit the
+artifacts.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import List, Optional, Sequence, Tuple
@@ -152,6 +162,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     use_cache = True
     cache_clear = False
     profile = False
+    telemetry_out: Optional[str] = None
     unit_timeout: Optional[float] = None
     ids: List[str] = []
 
@@ -161,6 +172,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fast = False
         elif arg == "--no-cache":
             use_cache = False
+        elif arg == "--telemetry" or arg.startswith("--telemetry="):
+            value = arg.split("=", 1)[1] if "=" in arg else ""
+            telemetry_out = value or "telemetry"
         elif arg == "--cache-clear":
             cache_clear = True
         elif arg == "--profile":
@@ -180,6 +194,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _usage_error(f"unknown option {arg!r}")
         else:
             ids.append(arg)
+
+    if telemetry_out is not None:
+        # A cached result would skip the simulations that write the
+        # artifacts, so telemetry runs bypass the result cache. The env
+        # var is inherited by pool workers (set before the pool forks).
+        from repro.experiments.telemetry_io import TELEMETRY_DIR_ENV
+
+        os.environ[TELEMETRY_DIR_ENV] = telemetry_out
+        use_cache = False
 
     cache = ResultCache() if use_cache else None
     if cache_clear:
@@ -212,6 +235,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if profile_rows is not None:
         print(format_profile(profile_rows))
         print()
+    if telemetry_out is not None:
+        print(f"[telemetry artifacts under {telemetry_out}/]")
     print(f"[{time.time() - start:.1f}s total, fast={fast}, jobs={jobs}]")
     return 0
 

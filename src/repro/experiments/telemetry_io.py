@@ -1,0 +1,59 @@
+"""Per-point telemetry artifacts for the simulation figures.
+
+Lives apart from :mod:`repro.experiments.common` on purpose: these
+helpers import :mod:`repro.netsim.telemetry`, and keeping them out of
+``common`` keeps netsim out of the analytical experiments' cache
+fingerprints (editing the simulator must not invalidate fig07's
+cached table). Only the simulation figures (fig21–fig24) import this
+module.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Optional
+
+#: Environment variable enabling per-point telemetry artifacts. Set it
+#: to a directory (the runner's ``--telemetry`` flag does this) and the
+#: simulation figures attach a Telemetry sink per simulated point and
+#: write ``$REPRO_TELEMETRY_DIR/<experiment>/<slug>.json``. The env var
+#: propagates to pool workers because it is set before the pool forks.
+TELEMETRY_DIR_ENV = "REPRO_TELEMETRY_DIR"
+
+
+def telemetry_dir() -> Optional[pathlib.Path]:
+    """The telemetry artifact directory, or None when disabled."""
+    value = os.environ.get(TELEMETRY_DIR_ENV, "").strip()
+    return pathlib.Path(value) if value else None
+
+
+def telemetry_sink(sample_interval: int = 16):
+    """A fresh Telemetry sink when artifacts are enabled, else None.
+
+    Simulation figures call this once per simulated point; the None
+    return in the common (disabled) case keeps telemetry entirely out
+    of the cached/benchmarked paths.
+    """
+    if telemetry_dir() is None:
+        return None
+    from repro.netsim.telemetry import Telemetry
+
+    return Telemetry(sample_interval=sample_interval)
+
+
+def write_point_telemetry(
+    telemetry, experiment_id: str, slug: str
+) -> Optional[pathlib.Path]:
+    """Write one point's telemetry report; returns the path (or None).
+
+    Unattached sinks (e.g. a sweep point that was skipped) and the
+    disabled case are both no-ops, so callers can write
+    unconditionally.
+    """
+    root = telemetry_dir()
+    if telemetry is None or root is None or not telemetry.attached:
+        return None
+    path = root / experiment_id / f"{slug}.json"
+    telemetry.write_json(path)
+    return path

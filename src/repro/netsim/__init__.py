@@ -12,7 +12,7 @@ convention (so an SSC delay of 11 cycles is 220 ns, and the 200 ns
 "equivalent delay" of Fig 21 is 10 cycles).
 """
 
-from repro.netsim.config import CYCLE_TIME_NS, RouterConfig
+from repro.netsim.config import CYCLE_TIME_NS, RouterConfig, SimConfig
 from repro.netsim.network import (
     NetworkModel,
     baseline_switch_network,
@@ -24,13 +24,17 @@ from repro.netsim.sim import (
     LoadLatencyPoint,
     Simulator,
     load_latency_sweep,
+    run_sim,
     saturation_throughput,
 )
+from repro.netsim.stats import RunStats
+from repro.netsim.telemetry import Telemetry, validate_telemetry
 from repro.netsim.traffic import TRAFFIC_PATTERNS, TrafficPattern, make_pattern
 from repro.netsim.trace import (
     SyntheticTraceSpec,
     TraceEvent,
     duplicate_trace,
+    replay_trace,
     synthetic_nersc_trace,
 )
 
@@ -41,17 +45,23 @@ __all__ = [
     "NetworkModel",
     "Packet",
     "RouterConfig",
+    "RunStats",
+    "SimConfig",
     "Simulator",
     "SyntheticTraceSpec",
     "TRAFFIC_PATTERNS",
+    "Telemetry",
     "TraceEvent",
     "TrafficPattern",
     "baseline_switch_network",
     "duplicate_trace",
     "load_latency_sweep",
     "make_pattern",
+    "replay_trace",
+    "run_sim",
     "saturation_throughput",
     "single_router_network",
     "synthetic_nersc_trace",
+    "validate_telemetry",
     "waferscale_clos_network",
 ]

@@ -44,3 +44,56 @@ class RouterConfig:
                 "shared buffer must hold at least one flit per VC "
                 f"({self.buffer_flits_per_port} < {self.num_vcs})"
             )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Run-level simulation parameters (Booksim's three-phase method).
+
+    A run is three explicit windows over one network instance:
+
+    * **warmup** (``warmup_cycles``) — traffic is offered but nothing
+      is measured; fills pipelines and buffers to steady state.
+    * **measurement** (``measure_cycles``) — traffic keeps flowing and
+      the run's statistics cover exactly this window: offered/accepted
+      load count flits injected/delivered *during* it, and latency
+      covers packets *created* during it (wherever they finish).
+    * **drain** (up to ``drain_cycles``) — injection stops; the network
+      keeps stepping so measurement-window packets still in flight can
+      arrive and be counted. Ends early once the network is empty. A
+      too-small drain censors the slowest packets —
+      :attr:`~repro.netsim.stats.RunStats.packets_outstanding` reports
+      how many were cut off.
+
+    Attributes:
+        warmup_cycles: Unmeasured lead-in cycles.
+        measure_cycles: Length of the measurement window.
+        drain_cycles: Upper bound on post-measurement drain cycles
+            (0 skips draining, as saturation estimates do).
+        packet_size_flits: Flits per generated packet.
+        seed: Seed for the Bernoulli injection process (runs are
+            deterministic for a fixed seed, network, pattern, load).
+
+    >>> SimConfig(warmup_cycles=100, measure_cycles=400).measure_cycles
+    400
+    >>> SimConfig(measure_cycles=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: measure_cycles must be >= 1
+    """
+
+    warmup_cycles: int = 1000
+    measure_cycles: int = 2000
+    drain_cycles: int = 3000
+    packet_size_flits: int = 4
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warmup_cycles < 0:
+            raise ValueError("warmup_cycles must be >= 0")
+        if self.measure_cycles < 1:
+            raise ValueError("measure_cycles must be >= 1")
+        if self.drain_cycles < 0:
+            raise ValueError("drain_cycles must be >= 0")
+        if self.packet_size_flits < 1:
+            raise ValueError("packet_size_flits must be >= 1")

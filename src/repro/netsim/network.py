@@ -54,6 +54,9 @@ class NetworkModel:
     _link_handlers: List[Optional[Callable]] = field(
         default_factory=list, repr=False
     )
+    #: Optional :class:`~repro.netsim.telemetry.Telemetry` sink; set by
+    #: ``Telemetry.attach``. ``None`` costs one check per ``step``.
+    telemetry: Optional[object] = field(default=None, repr=False)
 
     @property
     def n_terminals(self) -> int:
@@ -128,12 +131,25 @@ class NetworkModel:
             # their credit returns are absorbed lazily on next use.
             if terminal.source_queue:
                 terminal.inject(now)
-        # 3. Router pipelines (only where work is pending).
-        for router in self.routers:
-            if router.rc_pending:
-                router.vc_allocate(now)
-            if router.active_out_ports:
-                router.switch_allocate(now)
+        # 3. Router pipelines (only where work is pending). The one
+        # branch on ``self.telemetry`` here is the entire disabled-mode
+        # cost of instrumentation: the plain allocate methods carry no
+        # telemetry checks at all (their ``*_telemetry`` twins do).
+        telemetry = self.telemetry
+        if telemetry is None:
+            for router in self.routers:
+                if router.rc_pending:
+                    router.vc_allocate(now)
+                if router.active_out_ports:
+                    router.switch_allocate(now)
+        else:
+            for router in self.routers:
+                if router.rc_pending:
+                    router.vc_allocate_telemetry(now)
+                if router.active_out_ports:
+                    router.switch_allocate_telemetry(now)
+            if now % telemetry.sample_interval == 0:
+                telemetry.sample(self, now)
         self.cycle += 1
 
     def in_flight_flits(self) -> int:

@@ -11,12 +11,14 @@ throughput is the accepted load at an offered load beyond saturation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
+from repro.netsim.config import SimConfig
 from repro.netsim.network import NetworkModel
 from repro.netsim.packet import Packet
 from repro.netsim.stats import RunStats
-from repro.netsim.traffic import BernoulliInjector, TrafficPattern
+from repro.netsim.telemetry import Telemetry
+from repro.netsim.traffic import BernoulliInjector, TrafficPattern, make_pattern
 
 NetworkFactory = Callable[[], NetworkModel]
 
@@ -63,23 +65,39 @@ class Simulator:
         destination = injector.pattern.destination
         size = injector.packet_size_flits
         offered = 0
+        created = 0
         for terminal in self.network.terminals:
             if draw() >= probability:
                 continue
             src = terminal.terminal_id
             terminal.offer_packet(Packet(src, destination(src, rng), size, now))
             offered += size
+            created += 1
         if count_stats is not None:
             count_stats.flits_offered += offered
+            count_stats.packets_created += created
 
     def run(
         self,
         warmup_cycles: int = 1000,
         measure_cycles: int = 2000,
         drain_cycles: int = 3000,
+        telemetry: Optional[Telemetry] = None,
     ) -> RunStats:
-        """Warm up, measure, and drain; return the window's statistics."""
+        """Warm up, measure, and drain; return the window's statistics.
+
+        The three phases follow Booksim's methodology (see
+        :class:`~repro.netsim.config.SimConfig` for the windowing
+        contract). When a :class:`~repro.netsim.telemetry.Telemetry`
+        sink is given it is attached to the network and driven through
+        matching ``warmup`` / ``measurement`` / ``drain`` windows, so
+        its per-window counters line up with the returned
+        :class:`~repro.netsim.stats.RunStats`.
+        """
         network = self.network
+        if telemetry is not None:
+            telemetry.attach(network)
+            telemetry.begin_window("warmup", network.cycle)
         for _ in range(warmup_cycles):
             self._generate(network.cycle, None)
             network.step()
@@ -91,6 +109,8 @@ class Simulator:
             measure_end=measure_end,
             n_terminals=network.n_terminals,
         )
+        if telemetry is not None:
+            telemetry.begin_window("measurement", network.cycle)
         delivered_before = self._delivered_flits()
         for _ in range(measure_cycles):
             self._generate(network.cycle, stats)
@@ -99,19 +119,71 @@ class Simulator:
 
         # Drain: stop offering, keep stepping so measurement-window
         # packets can finish (bounded by drain_cycles).
+        if telemetry is not None:
+            telemetry.begin_window("drain", network.cycle)
         for _ in range(drain_cycles):
             if network.in_flight_flits() == 0:
                 break
             network.step()
+        if telemetry is not None:
+            telemetry.finish(network.cycle)
 
         for terminal in network.terminals:
             for packet in terminal.packets_received:
-                if measure_start <= packet.create_cycle < measure_end:
-                    stats.latencies_cycles.append(packet.latency_cycles)
+                stats.record_arrival(packet)
         return stats
 
     def _delivered_flits(self) -> int:
         return sum(t.flits_received for t in self.network.terminals)
+
+
+def run_sim(
+    network: NetworkModel,
+    pattern: Union[str, TrafficPattern],
+    load: float,
+    config: Optional[SimConfig] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> RunStats:
+    """Run one warmup/measure/drain simulation on a built network.
+
+    The one-call front door to the simulator: pass a network from
+    :mod:`repro.netsim.network` (or :func:`~repro.netsim.mesh_network.
+    mesh_network`), a traffic pattern — by name (see
+    ``TRAFFIC_PATTERNS``) or as a :class:`~repro.netsim.traffic.
+    TrafficPattern` — an offered load in flits/cycle/terminal, and
+    optionally a :class:`~repro.netsim.config.SimConfig` for the
+    window/seed parameters and a :class:`~repro.netsim.telemetry.
+    Telemetry` sink for per-router instrumentation.
+
+    >>> from repro.netsim.config import SimConfig
+    >>> from repro.netsim.network import single_router_network
+    >>> stats = run_sim(
+    ...     single_router_network(4), "uniform", load=0.2,
+    ...     config=SimConfig(warmup_cycles=50, measure_cycles=200,
+    ...                      drain_cycles=100, seed=7),
+    ... )
+    >>> stats.packets_delivered == stats.packets_created  # nothing censored
+    True
+    >>> stats.avg_latency_cycles < 20  # one router, near zero-load
+    True
+    """
+    if config is None:
+        config = SimConfig()
+    if isinstance(pattern, str):
+        pattern = make_pattern(pattern, network.n_terminals)
+    sim = Simulator(
+        network,
+        pattern,
+        load,
+        packet_size_flits=config.packet_size_flits,
+        seed=config.seed,
+    )
+    return sim.run(
+        warmup_cycles=config.warmup_cycles,
+        measure_cycles=config.measure_cycles,
+        drain_cycles=config.drain_cycles,
+        telemetry=telemetry,
+    )
 
 
 @dataclass(frozen=True)
@@ -133,6 +205,7 @@ def load_latency_sweep(
     warmup_cycles: int = 500,
     measure_cycles: int = 1500,
     seed: int = 1,
+    telemetry_factory: Optional[Callable[[float], Optional[Telemetry]]] = None,
 ) -> List[LoadLatencyPoint]:
     """Average latency vs offered load (Figs 22, 23, 24 style curves).
 
@@ -142,6 +215,11 @@ def load_latency_sweep(
     offered load. Anchoring on a saturated first point (e.g. a sweep
     that starts past the knee) would inflate the latency criterion and
     mask saturation at every later point.
+
+    ``telemetry_factory(load)`` may return a fresh
+    :class:`~repro.netsim.telemetry.Telemetry` sink per load point
+    (or ``None`` to skip a point); the caller keeps the references —
+    typically a closure that writes each report to disk.
     """
     points: List[LoadLatencyPoint] = []
     zero_load_latency: Optional[float] = None
@@ -149,7 +227,14 @@ def load_latency_sweep(
         network = network_factory()
         pattern = pattern_factory(network.n_terminals)
         sim = Simulator(network, pattern, load, packet_size_flits, seed=seed)
-        stats = sim.run(warmup_cycles=warmup_cycles, measure_cycles=measure_cycles)
+        telemetry = (
+            telemetry_factory(load) if telemetry_factory is not None else None
+        )
+        stats = sim.run(
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+            telemetry=telemetry,
+        )
         latency = stats.avg_latency_cycles
         tracks_offered = stats.packets_delivered > 0 and (
             load <= 0
@@ -182,16 +267,22 @@ def saturation_throughput(
     warmup_cycles: int = 500,
     measure_cycles: int = 1500,
     seed: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> float:
     """Accepted throughput at an offered load far past saturation.
 
     Offering the full line rate and measuring the accepted flit rate is
-    Booksim's standard estimate of saturation throughput.
+    Booksim's standard estimate of saturation throughput. An optional
+    ``telemetry`` sink captures the saturated network's stall
+    attribution (there is no drain window: drain is skipped here).
     """
     network = network_factory()
     pattern = pattern_factory(network.n_terminals)
     sim = Simulator(network, pattern, offered_load, packet_size_flits, seed=seed)
     stats = sim.run(
-        warmup_cycles=warmup_cycles, measure_cycles=measure_cycles, drain_cycles=0
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        drain_cycles=0,
+        telemetry=telemetry,
     )
     return stats.accepted_load

@@ -1,4 +1,26 @@
-"""Measurement bookkeeping for simulation runs."""
+"""Measurement bookkeeping for simulation runs.
+
+Windowing contract (Booksim's methodology, made explicit):
+
+* ``measure_start``/``measure_end`` bound the **measurement window**
+  in absolute network cycles; warmup is everything before
+  ``measure_start`` and drain everything after ``measure_end``.
+* ``flits_offered`` / ``flits_delivered`` are **cycle-attributed**:
+  they count injection and delivery events that happened *during* the
+  window, whichever packet they belong to. That makes
+  :attr:`RunStats.accepted_load` the steady-state delivery rate over
+  the window.
+* ``latencies_cycles`` (and everything derived from it) is
+  **creation-attributed**: it covers exactly the packets *created*
+  during the window, whenever they arrive — including during drain.
+  Warmup-created packets never enter the latency statistics even when
+  they are delivered inside (or after) the measurement window; the
+  :meth:`RunStats.record_arrival` filter is the single place that
+  invariant lives.
+* A bounded drain can cut off the slowest measurement-window packets
+  (right-censoring the latency distribution);
+  :attr:`RunStats.packets_outstanding` says how many.
+"""
 
 from __future__ import annotations
 
@@ -18,10 +40,37 @@ class RunStats:
     flits_delivered: int = 0
     flits_offered: int = 0
     n_terminals: int = 0
+    #: Packets created during the measurement window (delivered or not).
+    packets_created: int = 0
+
+    def record_arrival(self, packet) -> bool:
+        """Count a delivered packet iff it was created in the window.
+
+        Returns whether the packet was counted. This is the windowing
+        filter: packets created during warmup (or drain) are excluded
+        from the latency statistics no matter when they arrive.
+        """
+        if self.measure_start <= packet.create_cycle < self.measure_end:
+            self.latencies_cycles.append(
+                packet.arrive_cycle - packet.create_cycle
+            )
+            return True
+        return False
 
     @property
     def packets_delivered(self) -> int:
         return len(self.latencies_cycles)
+
+    @property
+    def packets_outstanding(self) -> int:
+        """Measurement-window packets not delivered by the end of drain.
+
+        Non-zero means the latency distribution is right-censored: the
+        slowest packets of the window never arrived before the run
+        stopped (bounded ``drain_cycles``, or a saturated network that
+        cannot drain). 0 when ``packets_created`` was never counted.
+        """
+        return max(self.packets_created - self.packets_delivered, 0)
 
     @property
     def avg_latency_cycles(self) -> float:

@@ -31,6 +31,9 @@ class Terminal:
         self.flits_sent = 0
         self.flits_received = 0
         self.packets_received: List[Packet] = []
+        #: Optional :class:`~repro.netsim.telemetry.Telemetry` sink;
+        #: ``None`` (the default) keeps the hot paths untouched.
+        self.telemetry = None
 
     def attach(
         self, link: Link, credit_channel: CreditChannel, initial_credits: int
@@ -55,7 +58,12 @@ class Terminal:
         channel = self.credit_channel
         if channel is not None and channel._in_flight:
             self.credits += channel.deliver(now)
-        if not queue or self.credits <= 0:
+        if not queue:
+            return
+        if self.credits <= 0:
+            tele = self.telemetry
+            if tele is not None:
+                tele.terminal_credit_stalls[self.terminal_id] += 1
             return
         flit = queue.popleft()
         if flit.is_head:
@@ -73,8 +81,12 @@ class Terminal:
         """Absorb an ejected flit; record latency on the tail."""
         self.flits_received += 1
         if flit.is_tail:
-            flit.packet.arrive_cycle = now
-            self.packets_received.append(flit.packet)
+            packet = flit.packet
+            packet.arrive_cycle = now
+            self.packets_received.append(packet)
+            tele = self.telemetry
+            if tele is not None:
+                tele.record_latency(packet)
 
     @property
     def backlog_flits(self) -> int:

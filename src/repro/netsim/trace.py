@@ -240,11 +240,15 @@ def replay_trace(
     events: Sequence[TraceEvent],
     compression: float = 1.0,
     max_cycles: int = 200_000,
+    telemetry=None,
 ) -> RunStats:
     """Replay a trace to completion and return its statistics.
 
     ``compression`` scales injection timestamps: 2.0 injects twice as
-    fast (the load knob for the Fig 24 curves).
+    fast (the load knob for the Fig 24 curves). An optional
+    :class:`~repro.netsim.telemetry.Telemetry` sink is driven through a
+    single ``replay`` window spanning the whole run (trace replay has
+    no warmup/measurement split — every packet counts).
     """
     if compression <= 0:
         raise ValueError("compression must be positive")
@@ -253,6 +257,9 @@ def replay_trace(
         key=lambda pair: pair[0],
     )
     stats = RunStats(measure_start=0, measure_end=0, n_terminals=network.n_terminals)
+    if telemetry is not None:
+        telemetry.attach(network)
+        telemetry.begin_window("replay", network.cycle)
     index = 0
     while index < len(schedule) or network.in_flight_flits() > 0:
         now = network.cycle
@@ -261,11 +268,14 @@ def replay_trace(
             packet = Packet(event.src, event.dst, event.size_flits, now)
             network.terminals[event.src].offer_packet(packet)
             stats.flits_offered += event.size_flits
+            stats.packets_created += 1
             index += 1
         network.step()
         if network.cycle >= max_cycles:
             break
     stats.measure_end = network.cycle
+    if telemetry is not None:
+        telemetry.finish(network.cycle)
     for terminal in network.terminals:
         for packet in terminal.packets_received:
             stats.latencies_cycles.append(packet.latency_cycles)

@@ -2,7 +2,23 @@
 
 Each pattern maps a source terminal to a destination distribution.
 Injection is a Bernoulli process per terminal at the offered load
-(flits/cycle/terminal), as in Booksim.
+(flits/cycle/terminal), as in Booksim. Build patterns by name:
+
+>>> import random
+>>> make_pattern("tornado", 8).destination(1, random.Random(0))
+5
+>>> make_pattern("transpose", 16).destination(0b0111, random.Random(0))
+13
+>>> sorted(TRAFFIC_PATTERNS)[:3]
+['asymmetric', 'bit-complement', 'bit-reverse']
+
+Deterministic patterns ignore the RNG; ``uniform`` / ``hotspot`` /
+``asymmetric`` draw from it, so a seeded ``random.Random`` makes runs
+reproducible. Self-traffic never enters the network — it is redirected
+to the next terminal so offered load is preserved:
+
+>>> make_pattern("neighbor", 4).destination(3, random.Random(0))
+0
 """
 
 from __future__ import annotations
@@ -160,7 +176,17 @@ TRAFFIC_PATTERNS = tuple(sorted(_FACTORIES))
 
 
 def make_pattern(name: str, n_terminals: int) -> TrafficPattern:
-    """Build a pattern by name for the given terminal count."""
+    """Build a pattern by name for the given terminal count.
+
+    >>> make_pattern("uniform", 64).name
+    'uniform'
+    >>> make_pattern("zipf", 64)
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown traffic pattern 'zipf'; choose from \
+('asymmetric', 'bit-complement', 'bit-reverse', 'hotspot', 'neighbor', \
+'shuffle', 'tornado', 'transpose', 'uniform')
+    """
     try:
         factory = _FACTORIES[name]
     except KeyError:

@@ -108,3 +108,72 @@ def test_p99_at_least_average():
     sim = Simulator(_small_network(), make_pattern("uniform", 32), 0.2, seed=3)
     stats = sim.run(warmup_cycles=200, measure_cycles=500)
     assert stats.p99_latency_cycles >= stats.avg_latency_cycles
+
+
+# ----------------------------------------------------------------------
+# Measurement windowing (the explicit warmup/measure/drain contract)
+# ----------------------------------------------------------------------
+
+class _FakePacket:
+    def __init__(self, create_cycle, arrive_cycle):
+        self.create_cycle = create_cycle
+        self.arrive_cycle = arrive_cycle
+
+
+def test_record_arrival_excludes_warmup_and_drain_creations():
+    """The latency window covers creation, not delivery, time.
+
+    Regression guard for the windowing filter: a warmup-created packet
+    delivered inside (or after) the measurement window must never leak
+    into the measured average, even when the drain runs long; a
+    measurement-created packet delivered deep in the drain must count.
+    """
+    from repro.netsim.stats import RunStats
+
+    stats = RunStats(measure_start=100, measure_end=200)
+    assert not stats.record_arrival(_FakePacket(50, 150))    # warmup-created
+    assert not stats.record_arrival(_FakePacket(99, 4000))   # warmup, late
+    assert stats.record_arrival(_FakePacket(100, 101))       # first window cycle
+    assert stats.record_arrival(_FakePacket(199, 5000))      # drains very late
+    assert not stats.record_arrival(_FakePacket(200, 260))   # drain-created
+    assert stats.latencies_cycles == [1, 4801]
+    assert stats.packets_delivered == 2
+
+
+def test_run_latencies_only_cover_measurement_creations():
+    """End to end: every measured latency maps to an in-window packet."""
+    network = _small_network()
+    sim = Simulator(network, make_pattern("uniform", 32), 0.4, seed=9)
+    stats = sim.run(warmup_cycles=150, measure_cycles=300, drain_cycles=2000)
+    in_window = sorted(
+        packet.latency_cycles
+        for terminal in network.terminals
+        for packet in terminal.packets_received
+        if stats.measure_start <= packet.create_cycle < stats.measure_end
+    )
+    warmup_delivered = sum(
+        1
+        for terminal in network.terminals
+        for packet in terminal.packets_received
+        if packet.create_cycle < stats.measure_start
+    )
+    assert warmup_delivered > 0  # the exclusion below is non-vacuous
+    assert sorted(stats.latencies_cycles) == in_window
+    assert stats.packets_created >= stats.packets_delivered
+
+
+def test_packets_outstanding_reports_censoring():
+    """drain_cycles=0 cuts off in-flight measurement packets."""
+    sim = Simulator(_small_network(), make_pattern("uniform", 32), 0.5, seed=4)
+    stats = sim.run(warmup_cycles=150, measure_cycles=300, drain_cycles=0)
+    assert stats.packets_outstanding > 0
+    assert (
+        stats.packets_created
+        == stats.packets_delivered + stats.packets_outstanding
+    )
+
+
+def test_generous_drain_leaves_nothing_outstanding():
+    sim = Simulator(_small_network(), make_pattern("uniform", 32), 0.1, seed=4)
+    stats = sim.run(warmup_cycles=100, measure_cycles=200, drain_cycles=5000)
+    assert stats.packets_outstanding == 0
