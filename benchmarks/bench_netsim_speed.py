@@ -148,6 +148,44 @@ def telemetry_overhead(name: str = "mesh_8x8_uniform", repeats: int = 3) -> dict
     }
 
 
+def engine_speedup(vectorized: dict, repeats: int = 1) -> dict:
+    """Vectorized-engine speedup over the scalar oracle, per workload.
+
+    Re-runs every workload with ``REPRO_SCALAR_NETSIM=1`` (the object
+    simulator that the differential harness holds the vectorized core
+    to bit parity with) and divides the vectorized cycles/sec from the
+    same report. The scalar runs are slow — this is the section that
+    prices exactly how slow.
+    """
+    import os
+
+    from repro.netsim.fast_core import SCALAR_ENV
+
+    section = {}
+    previous = os.environ.get(SCALAR_ENV)
+    os.environ[SCALAR_ENV] = "1"
+    try:
+        for name in WORKLOADS:
+            scalar = run_workload(name, repeats)
+            section[name] = {
+                "scalar_cycles_per_sec": scalar["cycles_per_sec"],
+                "vectorized_cycles_per_sec": vectorized[name][
+                    "cycles_per_sec"
+                ],
+                "speedup": round(
+                    vectorized[name]["cycles_per_sec"]
+                    / scalar["cycles_per_sec"],
+                    2,
+                ),
+            }
+    finally:
+        if previous is None:
+            del os.environ[SCALAR_ENV]
+        else:
+            os.environ[SCALAR_ENV] = previous
+    return section
+
+
 def run_all(repeats: int = 2) -> dict:
     # Calibrate before AND after the workloads and keep the max: best-of
     # converges on the host's unloaded speed, the most stable estimator
@@ -158,6 +196,7 @@ def run_all(repeats: int = 2) -> dict:
     report = {"workloads": results}
     report["calibration_ops_per_sec"] = round(calibration, 1)
     report["telemetry_overhead"] = telemetry_overhead(repeats=repeats)
+    report["engine_speedup"] = engine_speedup(results)
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())["workloads"]
         speedups = {}
@@ -191,6 +230,12 @@ def main() -> None:
         if speedup is not None:
             line += f"  {speedup}x vs baseline"
         print(line)
+    for name, entry in report["engine_speedup"].items():
+        print(
+            f"{name}: vectorized {entry['vectorized_cycles_per_sec']:.0f} c/s"
+            f" vs scalar {entry['scalar_cycles_per_sec']:.0f} c/s"
+            f"  ({entry['speedup']}x)"
+        )
     overhead = report["telemetry_overhead"]
     print(
         f"telemetry on {overhead['workload']}: "

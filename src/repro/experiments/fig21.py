@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
 from repro.experiments.telemetry_io import telemetry_sink, write_point_telemetry
+from repro.netsim.fast_core import netsim_engine_tag
 from repro.netsim.network import clos_network
 from repro.netsim.packet import reset_packet_ids
 from repro.netsim.config import RouterConfig
@@ -96,6 +97,7 @@ def merge(unit_results, fast: bool = True) -> ExperimentResult:
             "paper: higher link delay requires larger buffers for the "
             "same saturation throughput; on-wafer latency allows small "
             "SRAM buffers",
+            f"netsim engine: {netsim_engine_tag()}",
         ],
     )
 

@@ -11,6 +11,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
 from repro.experiments.telemetry_io import telemetry_sink, write_point_telemetry
 from repro.netsim.config import RouterConfig
+from repro.netsim.fast_core import netsim_engine_tag
 from repro.netsim.network import clos_network
 from repro.netsim.packet import reset_packet_ids
 from repro.netsim.sim import load_latency_sweep, saturation_throughput
@@ -113,6 +114,7 @@ def merge(unit_results, fast: bool = True) -> ExperimentResult:
         notes=[
             f"saturation throughput gain from proprietary routing: "
             f"{gain:+.1f}% (paper: +11% to +14.5%)",
+            f"netsim engine: {netsim_engine_tag()}",
         ],
     )
 

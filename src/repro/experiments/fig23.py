@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
 from repro.experiments.telemetry_io import telemetry_sink, write_point_telemetry
+from repro.netsim.fast_core import netsim_engine_tag
 from repro.netsim.network import baseline_switch_network, waferscale_clos_network
 from repro.netsim.packet import reset_packet_ids
 from repro.netsim.sim import load_latency_sweep, saturation_throughput
@@ -93,6 +94,7 @@ def merge(unit_results, fast: bool = True) -> ExperimentResult:
     notes = [
         "paper: zero-load latency 37 (WS) vs 60 (network) cycles; equal "
         "or higher WS saturation on all patterns but asymmetric",
+        f"netsim engine: {netsim_engine_tag()}",
     ]
     if "waferscale" in zero_load and "switch-network" in zero_load:
         reduction = (

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import sim_scale
 from repro.experiments.telemetry_io import telemetry_sink, write_point_telemetry
+from repro.netsim.fast_core import netsim_engine_tag
 from repro.netsim.network import baseline_switch_network, waferscale_clos_network
 from repro.netsim.packet import reset_packet_ids
 from repro.netsim.trace import (
@@ -120,6 +121,7 @@ def merge(unit_results, fast: bool = True) -> ExperimentResult:
             "Nekbone +15.2%",
             "traces are synthetic equivalents with each mini-app's "
             "communication signature (originals not redistributable)",
+            f"netsim engine: {netsim_engine_tag()}",
         ],
     )
 

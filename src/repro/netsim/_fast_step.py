@@ -1,0 +1,684 @@
+"""Compiled hot loop for the vectorized netsim engine.
+
+:mod:`repro.netsim.fast_core` keeps the router pipeline in numpy
+struct-of-arrays, but at mesh/Clos sizes the per-cycle working sets are
+tens of rows: numpy's per-call overhead (~1-2us x ~150 calls/cycle)
+dominates and caps the speedup near 2x. This module compiles the same
+per-cycle semantics into a small C kernel that walks the *same* SoA
+buffers in place, which removes the interpreter from the hot loop
+entirely (the driver calls into C once per warmup/measure/drain span,
+not per cycle).
+
+Design constraints:
+
+* **No new dependencies.** The kernel is built with the system C
+  compiler through :mod:`cffi`'s ABI mode (``ffi.dlopen`` on a plain
+  shared object) — both already ship in the environment. When either
+  is missing, :func:`load_kernel` returns ``None`` and the engine runs
+  its pure-numpy step loop instead; the scalar object simulator remains
+  the oracle below that. ``REPRO_NETSIM_NO_CC=1`` forces the numpy
+  path (used by the differential tests to pin all three layers).
+* **Bit parity.** The C step is a transliteration of the *scalar*
+  object engine's cycle (which the numpy step already mirrors):
+  deliver link flits, deliver credits, inject, then VC-allocate and
+  switch-allocate per router in ascending order. Sequential C code
+  reproduces the object engine's iteration order directly — no batched
+  tie-breaking tricks are needed.
+* **Shared state.** All SoA arrays are numpy buffers owned by
+  ``FastEngine``; C mutates them through raw pointers, so finalization
+  (stats + object-model writeback) is engine code reading the same
+  arrays it would have written itself. Auxiliary C state (event rings,
+  RC buckets, pending lists, the delivery log) is exported back into
+  the engine's Python-side structures after the run.
+
+The compiled object is cached under ``_cc_cache/`` next to this file,
+keyed by a hash of the C source, so the toolchain runs once per source
+revision, not once per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+#: Set to ``"1"`` to skip the compiled kernel (pure-numpy fast path).
+NO_CC_ENV = "REPRO_NETSIM_NO_CC"
+
+# The struct below is both the cffi cdef and (verbatim) part of the C
+# source, so the two can never drift apart.
+_CDEF = """
+typedef struct {
+    /* shape + constants */
+    int64_t R, P, V, CAP, PV, PVW, T, RP, RPV, W;
+    int64_t full_mask, base, shift, idx_mask;
+    int64_t st_idle, st_route, st_active;
+    /* per-input-VC rows */
+    int64_t *qbuf, *qhead, *qlen;
+    int8_t  *state;
+    int64_t *rc_out, *rc_ovc, *gout;
+    /* per-port groups (g = router*P + port) */
+    int64_t *occ, *ocred;
+    int8_t  *oterm;
+    int64_t *ovc_mask, *vc_ptr, *sa_ptr, *fwd_g;
+    int64_t *rc_delay, *rc_delay_respawn;
+    int64_t *send_cls, *send_dest, *cred_cls, *cred_dest;
+    /* terminals */
+    int64_t *tcred, *tvc, *tsent, *tpsent, *trecv, *tbacklog;
+    int64_t *cur_pid, *cur_idx, *inj_cls, *inj_dest;
+    /* packet store (indexed by pidx = packet_id - base) */
+    int64_t *pk_dst, *pk_size, *pk_inject, *pk_arrive;
+    /* routing */
+    int64_t route_kind;   /* 0 mesh, 1 clos, 2 single */
+    int64_t rp0, rp1, rp2, rp3, rp4, rp5, rp6;
+    /* pre-generated offer events (ascending cycle) */
+    int64_t n_ev, ev_index;
+    int64_t *ev_when, *ev_term;
+    /* per-terminal pending-packet FIFO (linked by event index) */
+    int64_t *pend_next, *pend_head, *pend_tail;
+    /* delivery log (terminal, pidx) in arrival order */
+    int64_t *log_term, *log_pidx, log_count;
+    /* transport delay-class rings */
+    int64_t n_cls;
+    int64_t *cls_kind;    /* 0 rf, 1 tf, 2 inj, 3 rc, 4 tc */
+    int64_t *cls_delay, *cls_off, *cls_cap, *cls_head, *cls_tail;
+    int64_t *cls_hidx, *cls_tidx;   /* wrapped ring cursors */
+    int64_t *ring_cycle, *ring_dest, *ring_code, *ring_vc, *ring_src;
+    /* division-free lookups */
+    int64_t *pv_port;     /* PV:  pv -> input port (pv / V) */
+    int64_t *g_r, *g_p;   /* RP:  g -> router, g -> port */
+    int64_t *row_r;       /* RPV: row -> router */
+    /* RC completion buckets: ring of W slots, RPV rows each */
+    int64_t *bk_rows, *bk_cnt;
+    int64_t *stall_rows, stall_cnt;
+    int64_t RPVW;
+    uint64_t *va_mask;    /* RPVW words: rows pending VA this cycle */
+    /* SA bookkeeping */
+    uint64_t *cand;       /* RP * PVW candidate bitmask words */
+    uint64_t *aop;        /* R words: out ports with candidates */
+    int64_t *cg_stamp;    /* RP: cycle an input port last won SA */
+    /* run counters */
+    int64_t cycle, inflight, delivered_total, n_active, total_backlog;
+    /* telemetry (tel == 0: every instrumentation branch is skipped) */
+    int64_t tel, tel_interval;
+    int64_t *tel_rc_wait;      /* R:  rc_wait_cycles per router */
+    int64_t *tel_va_grants;    /* R */
+    int64_t *tel_va_stalls;    /* R */
+    int64_t *tel_rc_waiting;   /* R:  rows currently mid-RC-wait */
+    int64_t tel_waiting_total;
+    int64_t *tel_credit_stall; /* RP: credit_stall_cycles per port */
+    int64_t *tel_sa_requests;  /* RP */
+    int64_t *tel_channel_load; /* RP: SA grants per OUTPUT port */
+    int64_t *tel_vc_grants;    /* R*V: SA grants per input VC */
+    int64_t *tel_occ_sum;      /* RP: sampled, reset per window */
+    int64_t *tel_occ_peak;     /* RP */
+    int64_t *tel_vc_occ_sum;   /* R*V */
+    int64_t tel_samples;
+    int64_t tel_backlog_sum, tel_backlog_peak, tel_backlog_samples;
+    int64_t *tel_term_stall;   /* T: injection credit stalls */
+    /* error detail */
+    int64_t err_a;
+} FastState;
+
+int64_t fast_run(FastState *s, int64_t mode, int64_t limit);
+int64_t pregen_uniform(uint32_t *mt, int64_t *mti_io, int64_t total,
+                       int64_t T, double probability,
+                       int64_t n_terminals, int64_t *ev_when,
+                       int64_t *ev_term, int64_t *ev_dst);
+"""
+
+_C_SOURCE = (
+    """
+#include <stdint.h>
+#include <stdlib.h>
+"""
+    + _CDEF.replace("int64_t fast_run", "extern int64_t fast_run")
+    + r"""
+/* Error codes (negative); >= 0 is a normal span result. */
+#define ERR_OVERFLOW   (-1)
+#define ERR_IDLE_BODY  (-2)
+#define ERR_BAD_ROUTE  (-3)
+#define ERR_UNWIRED    (-4)
+#define ERR_RING_FULL  (-5)
+
+static inline int64_t ring_push(FastState *s, int64_t ci, int64_t now,
+                                int64_t dest, int64_t code, int64_t vc,
+                                int64_t src) {
+    if (s->cls_tail[ci] - s->cls_head[ci] >= s->cls_cap[ci])
+        return ERR_RING_FULL;
+    int64_t i = s->cls_off[ci] + s->cls_tidx[ci];
+    if (++s->cls_tidx[ci] == s->cls_cap[ci]) s->cls_tidx[ci] = 0;
+    s->ring_cycle[i] = now + s->cls_delay[ci];
+    s->ring_dest[i] = dest;
+    s->ring_code[i] = code;
+    s->ring_vc[i] = vc;
+    s->ring_src[i] = src;
+    s->cls_tail[ci]++;
+    return 0;
+}
+
+static inline void sched_rc(FastState *s, int64_t row, int64_t delay,
+                            int64_t now) {
+    int64_t slot = (now + delay) % s->W;
+    s->bk_rows[slot * s->RPV + s->bk_cnt[slot]++] = row;
+    if (s->tel) {            /* row joins the RC-waiting population */
+        s->tel_rc_waiting[s->row_r[row]]++;
+        s->tel_waiting_total++;
+    }
+}
+
+static inline void cand_set(FastState *s, int64_t g, int64_t pv) {
+    s->cand[g * s->PVW + (pv >> 6)] |= (uint64_t)1 << (pv & 63);
+    s->aop[s->g_r[g]] |= (uint64_t)1 << s->g_p[g];
+}
+
+static inline void cand_clear(FastState *s, int64_t g, int64_t pv) {
+    s->cand[g * s->PVW + (pv >> 6)] &= ~((uint64_t)1 << (pv & 63));
+    uint64_t any = 0;
+    for (int64_t w = 0; w < s->PVW; w++) any |= s->cand[g * s->PVW + w];
+    if (!any) s->aop[s->g_r[g]] &= ~((uint64_t)1 << s->g_p[g]);
+}
+
+static int64_t route_port(FastState *s, int64_t r, int64_t dst,
+                          int64_t pid) {
+    if (s->route_kind == 0) {            /* mesh: X-first XY */
+        int64_t tpr = s->rp0, nc = s->rp1, cols = s->rp2;
+        int64_t dst_router = dst / tpr;
+        if (dst_router == r) return dst % tpr;
+        int64_t my_c = r % cols, dst_c = dst_router % cols;
+        int64_t direction;               /* 0=N, 1=E, 2=S, 3=W */
+        if (my_c != dst_c) direction = dst_c > my_c ? 1 : 3;
+        else direction = dst_router / cols > r / cols ? 2 : 0;
+        return tpr + direction * nc + pid % nc;
+    }
+    if (s->route_kind == 1) {            /* clos */
+        int64_t down = s->rp0, leaves = s->rp1, spines = s->rp2;
+        int64_t cpp = s->rp3, n_up = s->rp4, adaptive = s->rp5;
+        int64_t dst_leaf = dst / down;
+        int64_t spine_out = dst_leaf * cpp + pid % cpp;
+        if (r >= leaves) return spine_out;
+        if (r == dst_leaf) return dst % down;
+        if (adaptive) {                  /* first max = numpy argmax */
+            int64_t best = 0, best_c = s->ocred[r * s->P + down];
+            for (int64_t j = 1; j < n_up; j++) {
+                int64_t c = s->ocred[r * s->P + down + j];
+                if (c > best_c) { best_c = c; best = j; }
+            }
+            return down + best;
+        }
+        return down + (pid % spines) * cpp + (pid / spines) % cpp;
+    }
+    return dst;                          /* single router */
+}
+
+static int64_t recv_router(FastState *s, int64_t g, int64_t code,
+                           int64_t vc, int64_t now) {
+    if (++s->occ[g] > s->CAP) { s->err_a = g; return ERR_OVERFLOW; }
+    int64_t row = g * s->V + vc;
+    int64_t slot = s->qhead[row] + s->qlen[row];
+    if (slot >= s->CAP) slot -= s->CAP;
+    s->qbuf[row * s->CAP + slot] = code;
+    if (s->qlen[row]++ == 0) {
+        int8_t st = s->state[row];
+        if (st == s->st_idle) {
+            if (code & s->idx_mask) return ERR_IDLE_BODY;
+            s->state[row] = (int8_t)s->st_route;
+            sched_rc(s, row, s->rc_delay[g], now);
+        } else if (st == s->st_active) {
+            cand_set(s, s->gout[row], s->g_p[g] * s->V + vc);
+        }
+    }
+    return 0;
+}
+
+static void recv_terminal(FastState *s, int64_t t, int64_t code,
+                          int64_t now) {
+    s->trecv[t]++;
+    s->inflight--;
+    s->delivered_total++;
+    int64_t pidx = (code >> s->shift) - s->base;
+    if ((code & s->idx_mask) == s->pk_size[pidx] - 1) {
+        s->pk_arrive[pidx] = now;
+        s->log_term[s->log_count] = t;
+        s->log_pidx[s->log_count] = pidx;
+        s->log_count++;
+    }
+}
+
+static int64_t inject(FastState *s, int64_t now) {
+    for (int64_t t = 0; t < s->T; t++) {
+        if (s->tbacklog[t] <= 0) continue;
+        if (s->tcred[t] <= 0) {
+            if (s->tel) s->tel_term_stall[t]++;
+            continue;
+        }
+        int64_t pidx = s->cur_pid[t];
+        int64_t idx = s->cur_idx[t];
+        if (idx == 0) {
+            s->tvc[t] = s->tvc[t] + 1 >= s->V ? 0 : s->tvc[t] + 1;
+            s->pk_inject[pidx] = now;
+        }
+        s->tcred[t]--;
+        s->tsent[t]++;
+        s->tbacklog[t]--;
+        s->total_backlog--;
+        int64_t code = ((s->base + pidx) << s->shift) | idx;
+        int64_t rc = ring_push(s, s->inj_cls[t], now, s->inj_dest[t],
+                               code, s->tvc[t], -1 - t);
+        if (rc) return rc;
+        s->cur_idx[t] = idx + 1;
+        if (idx == s->pk_size[pidx] - 1) {
+            s->tpsent[t]++;
+            int64_t head = s->pend_head[t];
+            if (head >= 0) {
+                s->cur_pid[t] = head;
+                s->cur_idx[t] = 0;
+                s->pend_head[t] = s->pend_next[head];
+                if (s->pend_head[t] < 0) s->pend_tail[t] = -1;
+            } else {
+                s->cur_pid[t] = -1;
+            }
+        }
+    }
+    return 0;
+}
+
+static int64_t vc_allocate(FastState *s, int64_t now) {
+    /* Merge this cycle's RC completions with VA-stalled heads into a
+       row bitmask and walk its set bits — ascending row order for
+       free: the object engine's sorted(rc_pending) loop. */
+    int64_t slot = now % s->W;
+    int64_t nb = s->bk_cnt[slot];
+    if (s->tel) {
+        /* Rows popped this cycle leave the waiting population before
+           the per-cycle wait attribution: a row scheduled with delay d
+           at receive time accrues exactly d wait cycles (d-1 for the
+           post-SA respawn, which is scheduled after this point of the
+           cycle) — the scalar engine's `now < rc_ready` count. */
+        for (int64_t i = 0; i < nb; i++)
+            s->tel_rc_waiting[s->row_r[s->bk_rows[slot * s->RPV + i]]]--;
+        s->tel_waiting_total -= nb;
+        if (s->tel_waiting_total)
+            for (int64_t r = 0; r < s->R; r++)
+                s->tel_rc_wait[r] += s->tel_rc_waiting[r];
+    }
+    if (s->stall_cnt + nb == 0) return 0;
+    for (int64_t i = 0; i < s->stall_cnt; i++) {
+        int64_t row = s->stall_rows[i];
+        s->va_mask[row >> 6] |= (uint64_t)1 << (row & 63);
+    }
+    for (int64_t i = 0; i < nb; i++) {
+        int64_t row = s->bk_rows[slot * s->RPV + i];
+        s->va_mask[row >> 6] |= (uint64_t)1 << (row & 63);
+    }
+    s->bk_cnt[slot] = 0;
+    s->stall_cnt = 0;
+    for (int64_t wd = 0; wd < s->RPVW; wd++) {
+    uint64_t bits = s->va_mask[wd];
+    s->va_mask[wd] = 0;
+    while (bits) {
+        int64_t row = wd * 64 + __builtin_ctzll(bits);
+        bits &= bits - 1;
+        int64_t r = s->row_r[row];
+        if (s->rc_out[row] < 0) {
+            int64_t code = s->qbuf[row * s->CAP + s->qhead[row]];
+            int64_t pid = code >> s->shift;
+            int64_t dst = s->pk_dst[pid - s->base];
+            int64_t out = route_port(s, r, dst, pid);
+            if (out < 0 || out >= s->P) {
+                s->err_a = out;
+                return ERR_BAD_ROUTE;
+            }
+            s->rc_out[row] = out;
+        }
+        int64_t g = r * s->P + s->rc_out[row];
+        int64_t ovc;
+        if (s->oterm[g]) {
+            ovc = 0;                     /* ejection: no VC ownership */
+        } else {
+            int64_t free = ~s->ovc_mask[g] & s->full_mask;
+            if (!free) {                 /* stall: retry next cycle */
+                if (s->tel) s->tel_va_stalls[r]++;
+                s->stall_rows[s->stall_cnt++] = row;
+                continue;
+            }
+            int64_t c = s->vc_ptr[g];
+            while (!((free >> c) & 1)) c = c + 1 >= s->V ? 0 : c + 1;
+            s->vc_ptr[g] = c + 1 >= s->V ? 0 : c + 1;
+            s->ovc_mask[g] |= (int64_t)1 << c;
+            ovc = c;
+        }
+        s->rc_ovc[row] = ovc;
+        s->state[row] = (int8_t)s->st_active;
+        s->gout[row] = g;
+        s->n_active++;
+        if (s->tel) s->tel_va_grants[r]++;
+        cand_set(s, g, row - r * s->PV);
+    }
+    }
+    return 0;
+}
+
+static int64_t commit(FastState *s, int64_t r, int64_t g, int64_t pv,
+                      int64_t now) {
+    int64_t row = r * s->PV + pv;
+    int64_t w = r * s->P + s->pv_port[pv];
+    s->sa_ptr[g] = pv + 1 >= s->PV ? 0 : pv + 1;
+    int64_t h = s->qhead[row];
+    int64_t code = s->qbuf[row * s->CAP + h];
+    s->qhead[row] = h + 1 >= s->CAP ? 0 : h + 1;
+    s->qlen[row]--;
+    s->occ[w]--;
+    s->fwd_g[w]++;
+    s->cg_stamp[w] = now;
+    if (s->tel) {
+        s->tel_channel_load[g]++;
+        s->tel_vc_grants[r * s->V + (pv - s->pv_port[pv] * s->V)]++;
+    }
+    if (s->cred_cls[w] >= 0) {
+        int64_t rc = ring_push(s, s->cred_cls[w], now, s->cred_dest[w],
+                               0, 0, 0);
+        if (rc) return rc;
+    }
+    int64_t out_vc = s->rc_ovc[row];
+    int64_t is_term = s->oterm[g];
+    if (!is_term) s->ocred[g]--;
+    if (s->send_cls[g] < 0) { s->err_a = g; return ERR_UNWIRED; }
+    int64_t rc = ring_push(s, s->send_cls[g], now, s->send_dest[g],
+                           code, out_vc, g);
+    if (rc) return rc;
+    int64_t pidx = (code >> s->shift) - s->base;
+    if ((code & s->idx_mask) == s->pk_size[pidx] - 1) {   /* tail */
+        if (!is_term) s->ovc_mask[g] &= ~((int64_t)1 << out_vc);
+        s->state[row] = (int8_t)s->st_idle;
+        s->rc_out[row] = -1;
+        s->rc_ovc[row] = -1;
+        s->gout[row] = -1;
+        s->n_active--;
+        cand_clear(s, g, pv);
+        if (s->qlen[row] > 0) {          /* next packet: re-route */
+            s->state[row] = (int8_t)s->st_route;
+            sched_rc(s, row, s->rc_delay_respawn[w], now);
+        }
+    } else if (s->qlen[row] == 0) {
+        cand_clear(s, g, pv);            /* body flits still in flight */
+    }
+    return 0;
+}
+
+static int64_t switch_allocate(FastState *s, int64_t now) {
+    /* Routers ascending, active out ports ascending, winner = minimum
+       circular distance from the port's pointer among candidates whose
+       input port has not already been granted this cycle. */
+    for (int64_t r = 0; r < s->R; r++) {
+        uint64_t m = s->aop[r];
+        while (m) {
+            int64_t p = __builtin_ctzll(m);
+            m &= m - 1;
+            int64_t g = r * s->P + p;
+            if (!s->oterm[g] && s->ocred[g] <= 0) {
+                if (s->tel) s->tel_credit_stall[g]++;
+                continue;
+            }
+            int64_t best = -1, best_d = s->PV, req = 0;
+            for (int64_t wd = 0; wd < s->PVW; wd++) {
+                uint64_t bits = s->cand[g * s->PVW + wd];
+                while (bits) {
+                    int64_t pv = wd * 64 + __builtin_ctzll(bits);
+                    bits &= bits - 1;
+                    if (s->cg_stamp[r * s->P + s->pv_port[pv]] == now)
+                        continue;
+                    req++;
+                    int64_t d = pv - s->sa_ptr[g];
+                    if (d < 0) d += s->PV;
+                    if (d < best_d) { best_d = d; best = pv; }
+                }
+            }
+            if (s->tel) s->tel_sa_requests[g] += req;
+            if (best < 0) continue;
+            int64_t rc = commit(s, r, g, best, now);
+            if (rc) return rc;
+        }
+    }
+    return 0;
+}
+
+static int64_t do_step(FastState *s) {
+    int64_t now = s->cycle;
+    for (int64_t ci = 0; ci < s->n_cls; ci++) {  /* 1. flit arrivals */
+        int64_t kind = s->cls_kind[ci];
+        if (kind > 2) continue;
+        while (s->cls_head[ci] < s->cls_tail[ci]) {
+            int64_t i = s->cls_off[ci] + s->cls_hidx[ci];
+            if (s->ring_cycle[i] != now) break;
+            if (++s->cls_hidx[ci] == s->cls_cap[ci]) s->cls_hidx[ci] = 0;
+            s->cls_head[ci]++;
+            if (kind == 1) {
+                recv_terminal(s, s->ring_dest[i], s->ring_code[i], now);
+            } else {
+                int64_t rc = recv_router(s, s->ring_dest[i],
+                                         s->ring_code[i],
+                                         s->ring_vc[i], now);
+                if (rc) return rc;
+            }
+        }
+    }
+    for (int64_t ci = 0; ci < s->n_cls; ci++) {  /* 2. credits */
+        int64_t kind = s->cls_kind[ci];
+        if (kind <= 2) continue;
+        while (s->cls_head[ci] < s->cls_tail[ci]) {
+            int64_t i = s->cls_off[ci] + s->cls_hidx[ci];
+            if (s->ring_cycle[i] != now) break;
+            if (++s->cls_hidx[ci] == s->cls_cap[ci]) s->cls_hidx[ci] = 0;
+            s->cls_head[ci]++;
+            if (kind == 3) s->ocred[s->ring_dest[i]]++;
+            else s->tcred[s->ring_dest[i]]++;
+        }
+    }
+    if (s->total_backlog) {
+        int64_t rc = inject(s, now);
+        if (rc) return rc;
+    }
+    int64_t rc = vc_allocate(s, now);            /* 3. VA then SA */
+    if (rc) return rc;
+    if (s->n_active) {
+        rc = switch_allocate(s, now);
+        if (rc) return rc;
+    }
+    if (s->tel && now % s->tel_interval == 0) {  /* occupancy sample */
+        for (int64_t g = 0; g < s->RP; g++) {
+            int64_t o = s->occ[g];
+            s->tel_occ_sum[g] += o;
+            if (o > s->tel_occ_peak[g]) s->tel_occ_peak[g] = o;
+        }
+        for (int64_t row = 0; row < s->RPV; row++) {
+            int64_t l = s->qlen[row];
+            if (l)
+                s->tel_vc_occ_sum[s->row_r[row] * s->V + row % s->V] += l;
+        }
+        s->tel_samples++;
+        int64_t b = s->total_backlog;
+        s->tel_backlog_sum += b;
+        if (b > s->tel_backlog_peak) s->tel_backlog_peak = b;
+        s->tel_backlog_samples++;
+    }
+    s->cycle = now + 1;
+    return 0;
+}
+
+static void offers(FastState *s, int64_t now) {
+    while (s->ev_index < s->n_ev && s->ev_when[s->ev_index] <= now) {
+        int64_t e = s->ev_index++;
+        int64_t t = s->ev_term[e];
+        if (s->tbacklog[t] == 0) {
+            s->cur_pid[t] = e;
+            s->cur_idx[t] = 0;
+        } else if (s->pend_tail[t] >= 0) {
+            s->pend_next[s->pend_tail[t]] = e;
+            s->pend_tail[t] = e;
+        } else {
+            s->pend_head[t] = e;
+            s->pend_tail[t] = e;
+        }
+        int64_t size = s->pk_size[e];
+        s->tbacklog[t] += size;
+        s->total_backlog += size;
+        s->inflight += size;
+    }
+}
+
+/* ---- CPython-compatible Mersenne Twister -------------------------
+   Bernoulli pre-generation consumes the bulk of the Python driver's
+   time at scale. random.Random is MT19937 with a documented state
+   (`getstate`), so the draw loop can run here bit-for-bit: random()
+   is genrand_res53 and randrange(m) is CPython's
+   _randbelow_with_getrandbits rejection loop. The advanced state is
+   written back and restored into the Python RNG afterwards. */
+
+#define MT_N 624
+#define MT_M 397
+
+static uint32_t mt_next(uint32_t *mt, int64_t *mti) {
+    uint32_t y;
+    if (*mti >= MT_N) {
+        static const uint32_t mag[2] = {0u, 0x9908b0dfu};
+        int kk;
+        for (kk = 0; kk < MT_N - MT_M; kk++) {
+            y = (mt[kk] & 0x80000000u) | (mt[kk + 1] & 0x7fffffffu);
+            mt[kk] = mt[kk + MT_M] ^ (y >> 1) ^ mag[y & 1u];
+        }
+        for (; kk < MT_N - 1; kk++) {
+            y = (mt[kk] & 0x80000000u) | (mt[kk + 1] & 0x7fffffffu);
+            mt[kk] = mt[kk + (MT_M - MT_N)] ^ (y >> 1) ^ mag[y & 1u];
+        }
+        y = (mt[MT_N - 1] & 0x80000000u) | (mt[0] & 0x7fffffffu);
+        mt[MT_N - 1] = mt[MT_M - 1] ^ (y >> 1) ^ mag[y & 1u];
+        *mti = 0;
+    }
+    y = mt[(*mti)++];
+    y ^= y >> 11;
+    y ^= (y << 7) & 0x9d2c5680u;
+    y ^= (y << 15) & 0xefc60000u;
+    y ^= y >> 18;
+    return y;
+}
+
+int64_t pregen_uniform(uint32_t *mt, int64_t *mti_io, int64_t total,
+                       int64_t T, double probability,
+                       int64_t n_terminals, int64_t *ev_when,
+                       int64_t *ev_term, int64_t *ev_dst) {
+    int64_t mti = *mti_io;
+    int64_t m = n_terminals - 1;
+    int bits = 0;                        /* m.bit_length() */
+    for (int64_t v = m; v; v >>= 1) bits++;
+    int64_t count = 0;
+    for (int64_t c = 0; c < total; c++) {
+        for (int64_t src = 0; src < T; src++) {
+            uint32_t a = mt_next(mt, &mti) >> 5;
+            uint32_t b = mt_next(mt, &mti) >> 6;
+            double r = (a * 67108864.0 + b) * (1.0 / 9007199254740992.0);
+            if (r >= probability) continue;
+            int64_t d;
+            do {
+                d = mt_next(mt, &mti) >> (32 - bits);
+            } while (d >= m);
+            if (d >= src) d += 1;   /* skip self-traffic */
+            ev_when[count] = c;
+            ev_term[count] = src;
+            ev_dst[count] = d;
+            count++;
+        }
+    }
+    *mti_io = mti;
+    return count;
+}
+
+int64_t fast_run(FastState *s, int64_t mode, int64_t limit) {
+    /* mode 0: offer + step for `limit` cycles.
+       mode 1: drain — step until in-flight empties (returns 1) or
+       `limit` cycles elapse (returns 0). */
+    if (mode == 0) {
+        for (int64_t k = 0; k < limit; k++) {
+            offers(s, s->cycle);
+            int64_t rc = do_step(s);
+            if (rc) return rc;
+        }
+        return 0;
+    }
+    for (int64_t k = 0; k < limit; k++) {
+        if (s->inflight == 0) return 1;
+        int64_t rc = do_step(s);
+        if (rc) return rc;
+    }
+    return 0;
+}
+"""
+)
+
+#: Exact error messages, shared with the scalar and numpy engines.
+ERROR_MESSAGES = {
+    -2: "body flit reached an idle VC front",
+}
+
+_kernel = None
+_kernel_tried = False
+
+
+def _cache_dir() -> Path:
+    return Path(__file__).resolve().parent / "_cc_cache"
+
+
+#: Optimization flags; folded into the cache key alongside the source.
+_CFLAGS = ["-O3", "-fomit-frame-pointer"]
+
+
+def _build(ffi) -> Optional[object]:
+    key = _C_SOURCE + "\x00" + " ".join(_CFLAGS)
+    digest = hashlib.sha256(key.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"faststep_{digest}.so"
+    if not so_path.exists():
+        cache.mkdir(parents=True, exist_ok=True)
+        cc = os.environ.get("CC", "cc")
+        with tempfile.TemporaryDirectory(dir=str(cache)) as tmp:
+            c_path = Path(tmp) / "faststep.c"
+            c_path.write_text(_C_SOURCE)
+            tmp_so = Path(tmp) / so_path.name
+            subprocess.run(
+                [cc, *_CFLAGS, "-std=c99", "-fPIC", "-shared",
+                 str(c_path), "-o", str(tmp_so)],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_so, so_path)  # atomic publish
+    return ffi.dlopen(str(so_path))
+
+
+def load_kernel():
+    """``(ffi, lib)`` for the compiled step kernel, or ``None``.
+
+    ``None`` means "no C toolchain here" (or ``REPRO_NETSIM_NO_CC=1``):
+    callers fall back to the pure-numpy step loop. The result is cached
+    for the process; a failed build is not retried.
+    """
+    global _kernel, _kernel_tried
+    if os.environ.get(NO_CC_ENV, "") == "1":
+        return None
+    if _kernel_tried:
+        return _kernel
+    _kernel_tried = True
+    try:
+        import cffi
+
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        lib = _build(ffi)
+        if lib is not None:
+            _kernel = (ffi, lib)
+    except Exception:
+        _kernel = None
+    return _kernel

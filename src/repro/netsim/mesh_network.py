@@ -95,7 +95,17 @@ def mesh_network(
     n_terminals = rows * cols * terminals_per_router
     terminals = [Terminal(t, config.num_vcs) for t in range(n_terminals)]
     network = NetworkModel(
-        name=f"mesh-{rows}x{cols}", routers=routers, terminals=terminals
+        name=f"mesh-{rows}x{cols}",
+        routers=routers,
+        terminals=terminals,
+        route_spec=(
+            "mesh",
+            {
+                "cols": cols,
+                "terminals_per_router": terminals_per_router,
+                "neighbor_channels": neighbor_channels,
+            },
+        ),
     )
 
     for r in range(rows):

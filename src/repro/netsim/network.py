@@ -57,6 +57,11 @@ class NetworkModel:
     #: Optional :class:`~repro.netsim.telemetry.Telemetry` sink; set by
     #: ``Telemetry.attach``. ``None`` costs one check per ``step``.
     telemetry: Optional[object] = field(default=None, repr=False)
+    #: Optional ``(kind, params)`` tag describing the route function.
+    #: Builders set it so :mod:`repro.netsim.fast_core` can compile the
+    #: routing decision into array ops; ``None`` (custom route
+    #: functions) keeps runs on the scalar object engine.
+    route_spec: Optional[tuple] = field(default=None, repr=False)
 
     @property
     def n_terminals(self) -> int:
@@ -312,6 +317,14 @@ def clos_network(
     """
     shape = ClosShape(n_terminals, ssc_radix)
     route_fn = _clos_route(shape, spine_selection)
+    route_spec = (
+        "clos",
+        {
+            "n_terminals": n_terminals,
+            "ssc_radix": ssc_radix,
+            "spine_selection": spine_selection,
+        },
+    )
     routers = []
     for leaf in range(shape.n_leaves):
         routers.append(
@@ -334,7 +347,12 @@ def clos_network(
             )
         )
     terminals = [Terminal(t, config.num_vcs) for t in range(n_terminals)]
-    network = NetworkModel(name=name, routers=routers, terminals=terminals)
+    network = NetworkModel(
+        name=name,
+        routers=routers,
+        terminals=terminals,
+        route_spec=route_spec,
+    )
 
     down = shape.down_per_leaf
     cpp = shape.channels_per_pair
@@ -478,7 +496,10 @@ def single_router_network(
     router = Router(0, n_terminals, config, route)
     terminals = [Terminal(t, num_vcs) for t in range(n_terminals)]
     network = NetworkModel(
-        name="single-router", routers=[router], terminals=terminals
+        name="single-router",
+        routers=[router],
+        terminals=terminals,
+        route_spec=("single", {}),
     )
     for t, terminal in enumerate(terminals):
         _wire_terminal(network, terminal, router, t, io_latency)

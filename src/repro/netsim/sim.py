@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro.netsim import fast_core
 from repro.netsim.config import SimConfig
 from repro.netsim.network import NetworkModel
 from repro.netsim.packet import Packet
@@ -95,6 +96,16 @@ class Simulator:
         :class:`~repro.netsim.stats.RunStats`.
         """
         network = self.network
+        # Engine selection happens once per run: the vectorized
+        # struct-of-arrays core when it supports this network (and
+        # ``REPRO_SCALAR_NETSIM=1`` is not forcing the oracle), the
+        # object simulator otherwise. Both produce bit-identical
+        # results (tests/netsim/test_differential.py).
+        engine = fast_core.engine_for(network, telemetry)
+        if engine is not None:
+            return engine.run_bernoulli(
+                self.injector, warmup_cycles, measure_cycles, drain_cycles
+            )
         if telemetry is not None:
             telemetry.attach(network)
             telemetry.begin_window("warmup", network.cycle)

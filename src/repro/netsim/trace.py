@@ -256,6 +256,12 @@ def replay_trace(
         ((max(0, int(e.cycle / compression)), e) for e in events),
         key=lambda pair: pair[0],
     )
+    if telemetry is None:
+        from repro.netsim import fast_core
+
+        engine = fast_core.engine_for(network)
+        if engine is not None:
+            return engine.run_replay(schedule, max_cycles)
     stats = RunStats(measure_start=0, measure_end=0, n_terminals=network.n_terminals)
     if telemetry is not None:
         telemetry.attach(network)

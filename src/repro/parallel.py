@@ -20,10 +20,11 @@ everything runs serially in-process.
 
 from __future__ import annotations
 
+import os
 import sys
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from concurrent.futures.process import BrokenProcessPool
 
@@ -32,6 +33,32 @@ _UNSET = object()
 
 #: Total attempts per task in the pool before serial fallback.
 MAX_POOL_ATTEMPTS = 2
+
+#: Engine-selection switches forwarded to pool workers. A run forced
+#: onto the scalar netsim oracle (or the numpy loop, or the scalar
+#: mapping kernels) must not silently come back vectorized from a
+#: worker whose start method snapshotted the environment before the
+#: flag was set.
+ENGINE_ENV_VARS = (
+    "REPRO_SCALAR_NETSIM",
+    "REPRO_NETSIM_NO_CC",
+    "REPRO_SCALAR_MAPPING",
+)
+
+
+def _engine_env() -> Dict[str, str]:
+    return {
+        name: os.environ[name]
+        for name in ENGINE_ENV_VARS
+        if name in os.environ
+    }
+
+
+def _init_worker(engine_env: Dict[str, str]) -> None:
+    """Pool initializer: mirror the parent's engine switches exactly."""
+    for name in ENGINE_ENV_VARS:
+        os.environ.pop(name, None)
+    os.environ.update(engine_env)
 
 
 def _warn(message: str) -> None:
@@ -78,7 +105,11 @@ def _label(labels: Optional[Sequence[str]], index: int) -> str:
 
 def _run_pool(fn, tasks, results, jobs, timeout, labels) -> None:
     """Best-effort parallel pass; leaves failed cells as ``_UNSET``."""
-    pool = ProcessPoolExecutor(max_workers=jobs)
+    pool = ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_init_worker,
+        initargs=(_engine_env(),),
+    )
     futures = {}
     broken = False
 

@@ -1,5 +1,6 @@
 """Parallel scheduler: serial equality, failure fallback, CLI errors."""
 
+import os
 import time
 
 import pytest
@@ -47,6 +48,42 @@ def test_unpartitioned_spec_is_single_unit():
     assert len(units) == 1
     result = spec.merge([spec.run_unit(units[0], fast=True)], fast=True)
     assert result.experiment_id == "tab03"
+
+
+def _report_engine_env():
+    """Module-level so the pool can pickle it into a worker."""
+    from repro.parallel import ENGINE_ENV_VARS
+
+    return {
+        name: os.environ.get(name) for name in ENGINE_ENV_VARS
+    }, os.getpid()
+
+
+def test_engine_switches_propagate_to_workers():
+    """REPRO_SCALAR_NETSIM / REPRO_NETSIM_NO_CC reach pool workers.
+
+    Without the pool initializer a forkserver started before the flag
+    was set would run workers on the wrong engine — a forced-scalar
+    experiment would silently come back vectorized.
+    """
+    from repro.parallel import pool_map
+
+    previous = os.environ.get("REPRO_SCALAR_NETSIM")
+    os.environ["REPRO_SCALAR_NETSIM"] = "1"
+    try:
+        results = pool_map(_report_engine_env, [()] * 4, jobs=2)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_SCALAR_NETSIM"]
+        else:
+            os.environ["REPRO_SCALAR_NETSIM"] = previous
+    workers = {pid for _, pid in results}
+    assert any(pid != os.getpid() for pid in workers)
+    for env, pid in results:
+        if pid == os.getpid():
+            continue  # serial-fallback cells prove nothing here
+        assert env["REPRO_SCALAR_NETSIM"] == "1"
+        assert env["REPRO_NETSIM_NO_CC"] is None
 
 
 def test_worker_crash_falls_back_to_serial(capfd):

@@ -20,6 +20,11 @@ from repro.netsim.mesh_network import mesh_network
 from repro.netsim.network import clos_network, waferscale_clos_network
 from repro.netsim.packet import reset_packet_ids
 from repro.netsim.sim import Simulator
+from repro.netsim.trace import (
+    SyntheticTraceSpec,
+    replay_trace,
+    synthetic_nersc_trace,
+)
 from repro.netsim.traffic import make_pattern
 
 
@@ -60,6 +65,19 @@ def _clos_on_mesh():
     )
 
 
+def _clos_adaptive():
+    """Clos with credit-based adaptive spine selection at the leaves."""
+    return clos_network(
+        "clos-adaptive",
+        32,
+        8,
+        RouterConfig(num_vcs=2, buffer_flits_per_port=8),
+        inter_switch_latency=1,
+        io_latency=2,
+        spine_selection="adaptive",
+    )
+
+
 #: name -> (network factory, pattern name, load, seed)
 SCENARIOS = {
     "mesh_low": (_small_mesh, "uniform", 0.05, 11),
@@ -68,6 +86,10 @@ SCENARIOS = {
     "clos_high": (_small_clos, "uniform", 0.40, 14),
     "clos_on_mesh_low": (_clos_on_mesh, "transpose", 0.05, 15),
     "clos_on_mesh_high": (_clos_on_mesh, "transpose", 0.40, 16),
+    # Hotspot traffic so the credit-sensing actually steers: under
+    # uniform load the adaptive and hashed paths rarely diverge.
+    "clos_adaptive_low": (_clos_adaptive, "hotspot", 0.05, 17),
+    "clos_adaptive_high": (_clos_adaptive, "hotspot", 0.40, 18),
 }
 
 WARMUP_CYCLES = 150
@@ -104,3 +126,103 @@ def run_scenario(name: str) -> dict:
             r.flits_forwarded for r in network.routers
         ],
     }
+
+
+#: name -> (network factory, trace name, compression, max_cycles).
+#: ``trace_multigrid_truncated`` stops injection mid-schedule: its
+#: golden pins the truncation contract (offered counts stop at the
+#: cutoff, and so does the global packet-id counter).
+TRACE_SCENARIOS = {
+    "trace_lulesh_mesh": (_small_mesh, "lulesh", 1.0, 20_000),
+    "trace_nekbone_clos": (_small_clos, "nekbone", 2.0, 20_000),
+    "trace_multigrid_truncated": (_small_mesh, "multigrid", 1.0, 150),
+}
+
+
+def run_trace_scenario(name: str) -> dict:
+    """Replay one synthetic mini-app trace and summarise it exactly."""
+    factory, trace_name, compression, max_cycles = TRACE_SCENARIOS[name]
+    reset_packet_ids()
+    network = factory()
+    spec = SyntheticTraceSpec(
+        n_nodes=network.n_terminals,
+        iterations=3,
+        iteration_gap_cycles=120,
+        seed=21,
+    )
+    events = synthetic_nersc_trace(trace_name, spec)
+    stats = replay_trace(
+        network, events, compression=compression, max_cycles=max_cycles
+    )
+    return {
+        "scenario": name,
+        "latencies_cycles": list(stats.latencies_cycles),
+        "flits_offered": stats.flits_offered,
+        "flits_delivered": stats.flits_delivered,
+        "packets_created": stats.packets_created,
+        "packets_delivered": stats.packets_delivered,
+        "final_cycle": network.cycle,
+        "in_flight_after_drain": network.in_flight_flits(),
+        "flits_received_per_terminal": [
+            t.flits_received for t in network.terminals
+        ],
+        "flits_forwarded_per_router": [
+            r.flits_forwarded for r in network.routers
+        ],
+    }
+
+
+def _overcredited_link():
+    """Mesh whose router 0 advertises more credits than the downstream
+    port's share of the buffer pool — a credit protocol violation the
+    simulator must detect as a buffer overflow, never absorb."""
+    network = _small_mesh()
+    router = network.routers[0]
+    for port in range(router.n_ports):
+        if router.out_link[port] is not None and not router.out_is_terminal[port]:
+            router.out_credits[port] += 64
+            break
+    return network
+
+
+def _overcredited_terminal():
+    """Mesh whose terminal 0 holds more injection credits than its
+    ingress port can buffer."""
+    network = _small_mesh()
+    network.terminals[0].credits += 64
+    return network
+
+
+#: name -> (sabotaged network factory, pattern name, load, seed).
+#: Saturating load: the phantom credits only matter once the sabotaged
+#: port actually backs up past its share of the buffer pool.
+FAILURE_SCENARIOS = {
+    "overcredited_link": (_overcredited_link, "uniform", 0.90, 19),
+    "overcredited_terminal": (_overcredited_terminal, "uniform", 0.90, 20),
+}
+
+
+def run_failure_scenario(name: str) -> dict:
+    """Run one sabotaged network until its protocol violation trips.
+
+    Both engines must fail loudly — and identically — rather than
+    corrupt results silently; the golden freezes the exact error.
+    """
+    factory, pattern_name, load, seed = FAILURE_SCENARIOS[name]
+    reset_packet_ids()
+    network = factory()
+    pattern = make_pattern(pattern_name, network.n_terminals)
+    sim = Simulator(network, pattern, load, packet_size_flits=4, seed=seed)
+    try:
+        sim.run(
+            warmup_cycles=WARMUP_CYCLES,
+            measure_cycles=MEASURE_CYCLES,
+            drain_cycles=DRAIN_CYCLES,
+        )
+    except AssertionError as exc:
+        return {
+            "scenario": name,
+            "error_type": "AssertionError",
+            "error_message": str(exc),
+        }
+    raise AssertionError(f"{name}: the sabotage went undetected")

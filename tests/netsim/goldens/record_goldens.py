@@ -16,7 +16,14 @@ import sys
 HERE = pathlib.Path(__file__).resolve().parent
 sys.path.insert(0, str(HERE.parent))
 
-from golden_scenarios import SCENARIOS, run_scenario  # noqa: E402
+from golden_scenarios import (  # noqa: E402
+    FAILURE_SCENARIOS,
+    SCENARIOS,
+    TRACE_SCENARIOS,
+    run_failure_scenario,
+    run_scenario,
+    run_trace_scenario,
+)
 
 
 def main() -> None:
@@ -28,6 +35,19 @@ def main() -> None:
             f"{name}: {result['packets_delivered']} packets, "
             f"{result['flits_delivered']} flits measured -> {path.name}"
         )
+    for name in TRACE_SCENARIOS:
+        result = run_trace_scenario(name)
+        path = HERE / f"{name}.json"
+        path.write_text(json.dumps(result, indent=1) + "\n")
+        print(
+            f"{name}: {result['packets_delivered']}/"
+            f"{result['packets_created']} packets delivered -> {path.name}"
+        )
+    for name in FAILURE_SCENARIOS:
+        result = run_failure_scenario(name)
+        path = HERE / f"{name}.json"
+        path.write_text(json.dumps(result, indent=1) + "\n")
+        print(f"{name}: {result['error_message']!r} -> {path.name}")
 
 
 if __name__ == "__main__":

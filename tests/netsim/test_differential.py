@@ -1,0 +1,340 @@
+"""Differential fuzz harness: the vectorized core vs the scalar oracle.
+
+Hypothesis draws random topologies (mesh / Clos / adaptive Clos /
+mapped Clos / single router), traffic patterns, loads and seeds, runs
+the identical workload through every engine — the scalar object
+simulator (``REPRO_SCALAR_NETSIM=1``), the vectorized numpy loop
+(``REPRO_NETSIM_NO_CC=1``) and the compiled C kernel — and requires
+bit-identical results: every latency sample, every per-terminal and
+per-router flit count, the final cycle and the leftover in-flight
+flits.
+
+The fast tier runs a small derandomized corpus (the same examples every
+run, so CI failures reproduce locally); ``-m slow`` widens the sweep to
+larger shapes, more packet sizes and more examples.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from tests.netsim.engines import ENGINES
+
+from repro.netsim import fast_core
+from repro.netsim.config import RouterConfig
+from repro.netsim.mesh_network import mesh_network
+from repro.netsim.network import (
+    clos_network,
+    single_router_network,
+    waferscale_clos_network,
+)
+from repro.netsim.packet import reset_packet_ids
+from repro.netsim.sim import Simulator
+from repro.netsim.trace import TraceEvent, replay_trace
+from repro.netsim.traffic import BernoulliInjector, make_pattern
+
+#: Patterns that are valid for every terminal count the specs produce.
+PATTERNS = ("uniform", "transpose", "hotspot", "tornado", "neighbor")
+
+
+def _build(spec: dict):
+    config = RouterConfig(
+        num_vcs=spec["V"], buffer_flits_per_port=spec["buf"]
+    )
+    kind = spec["kind"]
+    if kind == "mesh":
+        return mesh_network(
+            spec["rows"],
+            spec["cols"],
+            terminals_per_router=spec["tpr"],
+            neighbor_channels=spec["nc"],
+            config=config,
+            io_latency=spec["io"],
+        )
+    if kind == "clos":
+        return waferscale_clos_network(
+            spec["n"],
+            spec["k"],
+            num_vcs=spec["V"],
+            buffer_flits_per_port=spec["buf"],
+            io_latency=spec["io"],
+        )
+    if kind == "clos_adaptive":
+        return clos_network(
+            "fuzz-adaptive",
+            spec["n"],
+            spec["k"],
+            config,
+            inter_switch_latency=1,
+            io_latency=spec["io"],
+            spine_selection="adaptive",
+        )
+    if kind == "clos_mapped":
+        mod = spec["mod"]
+        return clos_network(
+            "fuzz-mapped",
+            spec["n"],
+            spec["k"],
+            config,
+            inter_switch_latency=1,
+            io_latency=spec["io"],
+            pair_latency_fn=lambda leaf, spine: 1 + (leaf + 2 * spine) % mod,
+        )
+    assert kind == "single"
+    return single_router_network(
+        spec["n"],
+        num_vcs=spec["V"],
+        buffer_flits_per_port=spec["buf"],
+        io_latency=spec["io"],
+    )
+
+
+@st.composite
+def network_specs(draw, deep: bool = False):
+    kind = draw(
+        st.sampled_from(
+            ["mesh", "clos", "clos_adaptive", "clos_mapped", "single"]
+        )
+    )
+    spec = {
+        "kind": kind,
+        "V": draw(st.sampled_from([1, 2, 4])),
+        "buf": draw(st.sampled_from([8, 16])),
+        "io": draw(st.integers(min_value=1, max_value=3)),
+    }
+    if kind == "mesh":
+        limit = 4 if deep else 3
+        spec["rows"] = draw(st.integers(min_value=2, max_value=limit))
+        spec["cols"] = draw(st.integers(min_value=2, max_value=limit))
+        spec["tpr"] = draw(st.integers(min_value=1, max_value=2))
+        spec["nc"] = draw(st.integers(min_value=1, max_value=2))
+    elif kind == "single":
+        spec["n"] = draw(st.integers(min_value=4, max_value=8))
+    else:
+        shapes = [(16, 8), (32, 8)] + ([(64, 16)] if deep else [])
+        spec["n"], spec["k"] = draw(st.sampled_from(shapes))
+        if kind == "clos_mapped":
+            spec["mod"] = draw(st.integers(min_value=2, max_value=4))
+    return spec
+
+
+def _run_summary(spec, pattern_name, load, seed, psize, warmup, measure, drain):
+    """One clean-slate run, summarised down to every observable bit."""
+    reset_packet_ids()
+    network = _build(spec)
+    pattern = make_pattern(pattern_name, network.n_terminals)
+    sim = Simulator(network, pattern, load, packet_size_flits=psize, seed=seed)
+    stats = sim.run(
+        warmup_cycles=warmup, measure_cycles=measure, drain_cycles=drain
+    )
+    return {
+        "latencies": list(stats.latencies_cycles),
+        "flits_offered": stats.flits_offered,
+        "flits_delivered": stats.flits_delivered,
+        "packets_created": stats.packets_created,
+        "final_cycle": network.cycle,
+        "in_flight": network.in_flight_flits(),
+        "per_terminal": [
+            (t.flits_sent, t.flits_received, len(t.packets_received))
+            for t in network.terminals
+        ],
+        "per_router": [r.flits_forwarded for r in network.routers],
+    }
+
+
+def _assert_engines_agree(spec, pattern_name, load, seed, psize, cycles):
+    warmup, measure, drain = cycles
+    results = {}
+    for engine, ctx in ENGINES.items():
+        with ctx():
+            results[engine] = _run_summary(
+                spec, pattern_name, load, seed, psize, warmup, measure, drain
+            )
+    reference = results.pop("scalar")
+    # Conservation holds on the oracle; equality then carries it over.
+    assert reference["flits_offered"] + sum(
+        t[0] for t in reference["per_terminal"]
+    ) >= reference["flits_delivered"]
+    for engine, result in results.items():
+        assert result["latencies"] == reference["latencies"], (
+            engine,
+            spec,
+            pattern_name,
+            load,
+            seed,
+        )
+        assert result == reference, (engine, spec, pattern_name, load, seed)
+
+
+@given(
+    spec=network_specs(),
+    pattern_name=st.sampled_from(PATTERNS),
+    load=st.floats(min_value=0.02, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_bernoulli_differential(spec, pattern_name, load, seed):
+    """Fast tier: a fixed fuzz corpus through all three engines."""
+    _assert_engines_agree(spec, pattern_name, load, seed, 4, (30, 100, 300))
+
+
+@pytest.mark.slow
+@given(
+    spec=network_specs(deep=True),
+    pattern_name=st.sampled_from(PATTERNS),
+    load=st.floats(min_value=0.02, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+    psize=st.integers(min_value=1, max_value=6),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_bernoulli_differential_deep(spec, pattern_name, load, seed, psize):
+    """Slow tier: larger shapes, variable packet sizes, longer runs."""
+    _assert_engines_agree(
+        spec, pattern_name, load, seed, psize, (80, 250, 600)
+    )
+
+
+@given(
+    spec=network_specs(),
+    load=st.floats(min_value=0.05, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(
+    max_examples=8,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_flit_conservation_differential(spec, load, seed):
+    """With no warmup, offered == delivered + in-flight on every engine."""
+    for engine, ctx in ENGINES.items():
+        with ctx():
+            result = _run_summary(
+                spec, "uniform", load, seed, 4, 0, 150, 200
+            )
+        delivered = sum(t[1] for t in result["per_terminal"])
+        assert result["flits_offered"] == delivered + result["in_flight"], (
+            engine,
+            spec,
+        )
+
+
+@given(
+    workload=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),  # src
+            st.integers(min_value=0, max_value=31),  # dst
+            st.integers(min_value=1, max_value=6),  # size
+            st.integers(min_value=0, max_value=120),  # cycle
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    compression=st.sampled_from([0.5, 1.0, 2.0]),
+    max_cycles=st.sampled_from([90, 4000]),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_trace_replay_differential(workload, compression, max_cycles):
+    """Random event schedules replay identically — truncation included."""
+    events = [
+        TraceEvent(cycle, src, dst, size)
+        for src, dst, size, cycle in workload
+        if src != dst
+    ]
+    assume(events)
+
+    results = {}
+    for engine, ctx in ENGINES.items():
+        with ctx():
+            reset_packet_ids()
+            network = waferscale_clos_network(
+                32, 8, num_vcs=2, buffer_flits_per_port=8, io_latency=2
+            )
+            stats = replay_trace(
+                network,
+                events,
+                compression=compression,
+                max_cycles=max_cycles,
+            )
+            results[engine] = {
+                "latencies": list(stats.latencies_cycles),
+                "flits_offered": stats.flits_offered,
+                "flits_delivered": stats.flits_delivered,
+                "packets_created": stats.packets_created,
+                "final_cycle": network.cycle,
+                "in_flight": network.in_flight_flits(),
+                "per_terminal": [
+                    t.flits_received for t in network.terminals
+                ],
+            }
+    reference = results.pop("scalar")
+    for engine, result in results.items():
+        assert result == reference, (engine, compression, max_cycles)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    load=st.floats(min_value=0.01, max_value=0.9),
+    cycles=st.integers(min_value=1, max_value=80),
+)
+@settings(max_examples=25, deadline=None, derandomize=True)
+def test_pregen_uniform_matches_python_rng(seed, load, cycles):
+    """The C Bernoulli pre-generator replays CPython's MT bit-for-bit.
+
+    The kernel transliterates ``random()`` and the ``randrange``
+    rejection loop; this pins its event stream *and* the handed-back
+    RNG state against a pure-Python replay of the same draws.
+    """
+    reset_packet_ids()
+    network = mesh_network(
+        2,
+        2,
+        terminals_per_router=2,
+        neighbor_channels=1,
+        config=RouterConfig(num_vcs=2, buffer_flits_per_port=8),
+    )
+    engine = fast_core.engine_for(network)
+    assume(engine is not None)
+    pattern = make_pattern("uniform", network.n_terminals)
+    injector = BernoulliInjector(pattern, load, 4, seed=seed)
+    reference_rng = random.Random()
+    reference_rng.setstate(injector.rng.getstate())
+
+    pre = engine._c_pregen(injector, cycles)
+    if pre is None:
+        pytest.skip("no C toolchain in this environment")
+    ev_when, ev_term, ev_dst, ev_gid = pre
+
+    expected = []
+    probability = injector.packet_probability
+    for now in range(cycles):
+        for term in range(network.n_terminals):
+            if reference_rng.random() < probability:
+                expected.append(
+                    (now, term, pattern.destination(term, reference_rng))
+                )
+    got = list(
+        zip(ev_when.tolist(), ev_term.tolist(), ev_dst.tolist())
+    )
+    assert got == expected
+    assert injector.rng.getstate() == reference_rng.getstate()
+    assert ev_gid == sorted(ev_gid) and len(ev_gid) == len(expected)

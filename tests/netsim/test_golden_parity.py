@@ -17,13 +17,25 @@ from pathlib import Path
 
 import pytest
 
-from tests.netsim.golden_scenarios import SCENARIOS, run_scenario
+from tests.netsim.engines import ENGINES
+from tests.netsim.golden_scenarios import (
+    FAILURE_SCENARIOS,
+    SCENARIOS,
+    TRACE_SCENARIOS,
+    run_failure_scenario,
+    run_scenario,
+    run_trace_scenario,
+)
 
 from repro.netsim.packet import reset_packet_ids
 from repro.netsim.sim import Simulator
 from repro.netsim.traffic import make_pattern
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def _golden(name):
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text())
 
 
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
@@ -80,3 +92,55 @@ def test_same_seed_determinism(name):
     first = run_scenario(name)
     second = run_scenario(name)
     assert first == second
+
+
+@pytest.mark.parametrize("name", sorted(TRACE_SCENARIOS))
+def test_trace_golden_parity(name):
+    """Synthetic mini-app replays reproduce their goldens exactly.
+
+    ``trace_multigrid_truncated`` pins the truncation contract: when
+    ``max_cycles`` cuts the schedule short, the offered counts (and the
+    global packet-id counter behind them) stop at the cutoff.
+    """
+    golden = _golden(name)
+    result = run_trace_scenario(name)
+    assert result["latencies_cycles"] == golden["latencies_cycles"], (
+        f"{name}: replay latency samples diverged from the golden run"
+    )
+    assert result == golden
+
+
+@pytest.mark.parametrize("name", sorted(FAILURE_SCENARIOS))
+def test_failure_golden_parity(name):
+    """Sabotaged networks fail with the exact recorded error."""
+    assert run_failure_scenario(name) == _golden(name)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize(
+    "name", ["mesh_high", "clos_adaptive_high", "overcredited_link"]
+)
+def test_cross_engine_golden_parity(engine, name):
+    """Every engine reproduces the goldens — including the failures.
+
+    The full corpus x engine product lives in the slow tier
+    (``test_differential.py``); this smoke slice keeps one Bernoulli
+    run, one adaptive run and one protocol-violation run under all
+    three engines in the fast tier.
+    """
+    runner = run_failure_scenario if name in FAILURE_SCENARIOS else run_scenario
+    with ENGINES[engine]():
+        assert runner(name) == _golden(name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_cross_engine_full_corpus(engine):
+    """Slow tier: the whole golden corpus under each engine."""
+    with ENGINES[engine]():
+        for name in SCENARIOS:
+            assert run_scenario(name) == _golden(name), (engine, name)
+        for name in TRACE_SCENARIOS:
+            assert run_trace_scenario(name) == _golden(name), (engine, name)
+        for name in FAILURE_SCENARIOS:
+            assert run_failure_scenario(name) == _golden(name), (engine, name)
