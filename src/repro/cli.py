@@ -8,6 +8,8 @@ Commands:
                     ``python -m repro.experiments.runner``).
 * ``simulate``    — run the cycle-accurate WS-vs-network comparison.
 * ``usecases``    — print the deployment comparison tables.
+* ``serve``       — answer design/sweep/simulate queries over HTTP
+                    (coalescing + response cache; see docs/serve.md).
 """
 
 from __future__ import annotations
@@ -105,6 +107,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             lambda n: make_pattern(args.pattern, n),
             loads,
             telemetry_factory=point_telemetry if args.telemetry else None,
+            engine=args.engine,
         )
         for load, telemetry in sinks:
             reports[f"{label}/load={load:g}"] = telemetry.to_dict()
@@ -135,6 +138,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         print(f"\ntelemetry bundle written to {target}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import main as serve_main
+
+    forwarded = [f"--host={args.host}", f"--port={args.port}"]
+    if args.engine != "auto":
+        forwarded.append(f"--engine={args.engine}")
+    if args.mapping_engine != "auto":
+        forwarded.append(f"--mapping-engine={args.mapping_engine}")
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    return serve_main(forwarded)
 
 
 def _cmd_usecases(args: argparse.Namespace) -> int:
@@ -222,7 +238,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a telemetry bundle (one report per network x load) "
         "to this JSON file",
     )
+    simulate.add_argument(
+        "--engine",
+        choices=("auto", "c", "numpy", "scalar"),
+        default="auto",
+        help="netsim kernel (default auto; see repro.engines)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
+
+    serve = sub.add_parser("serve", help="query the model over HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8177, help="0 picks a free port")
+    serve.add_argument(
+        "--engine", choices=("auto", "c", "numpy", "scalar"), default="auto"
+    )
+    serve.add_argument(
+        "--mapping-engine", choices=("auto", "fast", "scalar"), default="auto"
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the serve response cache (coalescing still applies)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     usecases = sub.add_parser("usecases", help="deployment tables")
     usecases.set_defaults(func=_cmd_usecases)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -18,6 +20,10 @@ from repro.mapping.routing import IOStyle, available_bandwidth_per_port_gbps
 from repro.mapping.store import default_store, record_stat
 from repro.tech.external_io import ExternalIOTechnology, IOPlacement
 from repro.tech.wsi import WSITechnology
+
+#: Schema tag/version for :meth:`DesignPoint.to_dict` payloads.
+DESIGN_SCHEMA = "repro-design-point"
+DESIGN_SCHEMA_VERSION = 1
 from repro.topology.base import LogicalTopology
 from repro.units import require_positive
 
@@ -44,14 +50,17 @@ def cached_mapping(
     io_style: IOStyle,
     restarts: int = 2,
     seed: int = 0,
+    mapping_engine: str = "auto",
 ) -> MappingResult:
     """Optimize (or fetch a cached) mapping for the topology.
 
     Returns a defensive copy — callers may mutate the result (e.g.
     ``swap_sites`` in a what-if sweep) without corrupting the memo or
-    the persistent store.
+    the persistent store. ``mapping_engine`` picks the optimizer
+    kernel explicitly (see :mod:`repro.engines`); it is part of the
+    memo/store key, so engines never share cached placements.
     """
-    engine = mapping_engine_tag()
+    engine = mapping_engine_tag(engine=mapping_engine)
     key = (
         topology.name, topology.chiplet_count, io_style.value,
         restarts, seed, engine,
@@ -77,7 +86,12 @@ def cached_mapping(
     else:
         started = time.perf_counter()
         result = optimize_mapping(
-            topology, grid=grid, io_style=io_style, restarts=restarts, seed=seed
+            topology,
+            grid=grid,
+            io_style=io_style,
+            restarts=restarts,
+            seed=seed,
+            engine=mapping_engine,
         )
         record_stat("optimized")
         record_stat("optimize_seconds", time.perf_counter() - started)
@@ -90,6 +104,20 @@ def cached_mapping(
 def clear_mapping_cache() -> None:
     """Drop the in-process memo (the persistent store is unaffected)."""
     _MAPPING_CACHE.clear()
+
+
+def _encode_float(value):
+    """Strict-JSON encoding: non-finite floats become strings."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # 'inf' / '-inf' / 'nan'
+    return value
+
+
+def _decode_float(value):
+    """Inverse of :func:`_encode_float`."""
+    if isinstance(value, str):
+        return float(value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -129,6 +157,88 @@ class DesignPoint:
             f"[{self.wsi.name}"
             + (f" + {self.external_io.name}" if self.external_io else "")
             + f"] -> {status}, {self.power.total_w / 1000:.1f} kW"
+        )
+
+    def to_dict(self) -> Dict:
+        """Versioned JSON-serializable form (see :meth:`from_dict`).
+
+        The full design round-trips — topology (every chiplet
+        parameter, not just a registry name), technologies, mapping,
+        constraint report, power breakdown — so a served response can
+        be rehydrated into a working :class:`DesignPoint` on the other
+        side of a process or network boundary. Non-finite floats
+        (unconstrained capacities) are encoded as strings to keep the
+        payload strict JSON.
+        """
+        return {
+            "schema": DESIGN_SCHEMA,
+            "version": DESIGN_SCHEMA_VERSION,
+            "substrate_side_mm": self.substrate_side_mm,
+            "topology": self.topology.to_dict(),
+            "wsi": dataclasses.asdict(self.wsi),
+            "external_io": (
+                None
+                if self.external_io is None
+                else {
+                    **dataclasses.asdict(self.external_io),
+                    "placement": self.external_io.placement.value,
+                }
+            ),
+            "mapping": None if self.mapping is None else self.mapping.to_dict(),
+            "constraints": {
+                key: _encode_float(value)
+                for key, value in dataclasses.asdict(self.constraints).items()
+            },
+            "power": dataclasses.asdict(self.power),
+            "derived": {
+                "feasible": self.feasible,
+                "n_ports": self.n_ports,
+                "total_power_w": self.power.total_w,
+                "io_fraction": self.power.io_fraction,
+                "power_density_w_per_mm2": self.power_density_w_per_mm2,
+                "describe": self.describe(),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "DesignPoint":
+        """Inverse of :meth:`to_dict`; rebuilds every component."""
+        if payload.get("schema") != DESIGN_SCHEMA:
+            raise ValueError(f"not a {DESIGN_SCHEMA} payload")
+        if payload.get("version") != DESIGN_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported {DESIGN_SCHEMA} version "
+                f"{payload.get('version')!r}"
+            )
+        topology = LogicalTopology.from_dict(payload["topology"])
+        external = payload["external_io"]
+        mapping = payload["mapping"]
+        return cls(
+            substrate_side_mm=float(payload["substrate_side_mm"]),
+            topology=topology,
+            wsi=WSITechnology(**payload["wsi"]),
+            external_io=(
+                None
+                if external is None
+                else ExternalIOTechnology(
+                    **{
+                        **external,
+                        "placement": IOPlacement(external["placement"]),
+                    }
+                )
+            ),
+            mapping=(
+                None
+                if mapping is None
+                else MappingResult.from_dict(mapping, topology)
+            ),
+            constraints=ConstraintReport(
+                **{
+                    key: _decode_float(value)
+                    for key, value in payload["constraints"].items()
+                }
+            ),
+            power=PowerBreakdown(**payload["power"]),
         )
 
 

@@ -21,6 +21,7 @@ import os
 from pathlib import Path
 from typing import Optional
 
+from repro import paths
 from repro.experiments.base import ExperimentResult
 from repro.fingerprint import (  # noqa: F401 — re-exported; fingerprinting lives below the layer stack now
     _direct_imports,
@@ -29,16 +30,19 @@ from repro.fingerprint import (  # noqa: F401 — re-exported; fingerprinting li
     transitive_modules,
 )
 
-#: Environment variable overriding the cache directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Deprecation shim — the resolver lives in :mod:`repro.paths` now.
+CACHE_DIR_ENV = paths.CACHE_DIR_ENV
 
 #: Bump to invalidate every existing cache entry (serialization changes).
 CACHE_FORMAT_VERSION = 1
 
 
 def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` in the cwd."""
-    return Path(os.environ.get(CACHE_DIR_ENV, ".repro_cache"))
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` in the cwd.
+
+    Deprecated alias for :func:`repro.paths.experiment_cache_dir`.
+    """
+    return paths.experiment_cache_dir()
 
 
 def _mode_tag(fast: bool) -> str:

@@ -45,23 +45,34 @@ from repro.topology.base import LogicalTopology
 
 Cost = Tuple[int, int]
 
+#: Schema tag/version for :meth:`MappingResult.to_dict` payloads.
+MAPPING_RESULT_SCHEMA = "repro-mapping-result"
+MAPPING_RESULT_SCHEMA_VERSION = 1
+
 #: Environment escape hatch: force the scalar oracle everywhere.
 SCALAR_ENV = "REPRO_SCALAR_MAPPING"
 
 
-def use_scalar_kernel() -> bool:
-    """Whether the environment pins mapping to the scalar oracle."""
-    return os.environ.get(SCALAR_ENV, "") == "1"
+def use_scalar_kernel(engine: str = "auto") -> bool:
+    """Whether this run resolves to the scalar mapping oracle.
+
+    ``engine`` is a :data:`repro.engines.MAPPING_ENGINES` name; the
+    ``REPRO_SCALAR_MAPPING=1`` environment switch still overrides it
+    (CI parity jobs pin whole processes that way).
+    """
+    from repro.engines import resolve_mapping_engine
+
+    return resolve_mapping_engine(engine) == "scalar"
 
 
-def mapping_engine_tag(escalate: bool = True) -> str:
+def mapping_engine_tag(escalate: bool = True, engine: str = "auto") -> str:
     """Cache-key tag naming the kernel a mapping was produced with.
 
     Scalar and fast-with-escalation results can differ (escalation only
     improves cost, but the placement differs), so persisted mappings
     must not be shared across engines.
     """
-    if use_scalar_kernel():
+    if use_scalar_kernel(engine):
         return "scalar"
     return "fast-esc" if escalate else "fast"
 
@@ -100,6 +111,72 @@ class MappingResult:
             io_style=self.io_style,
             sweeps=self.sweeps,
             swaps_accepted=self.swaps_accepted,
+        )
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-serializable form (see :meth:`from_dict`).
+
+        One serialization path for mappings: the persistent store
+        (:mod:`repro.mapping.store`) and server responses
+        (:mod:`repro.api`) both emit exactly this payload. The
+        topology itself is *not* embedded — a mapping is meaningless
+        without one, so :meth:`from_dict` takes it as an argument
+        (typically reconstructed via
+        :meth:`repro.topology.base.LogicalTopology.from_dict`).
+        """
+        grid = self.placement.grid
+        return {
+            "schema": MAPPING_RESULT_SCHEMA,
+            "version": MAPPING_RESULT_SCHEMA_VERSION,
+            "grid": [grid.rows, grid.cols],
+            "io_style": self.io_style.value,
+            "site_of": [int(s) for s in self.placement.site_of],
+            "h": [int(x) for x in self.loads.h.ravel()],
+            "v": [int(x) for x in self.loads.v.ravel()],
+            "total_channel_hops": int(self.loads.total_channel_hops),
+            "sweeps": int(self.sweeps),
+            "swaps_accepted": int(self.swaps_accepted),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, topology: LogicalTopology) -> "MappingResult":
+        """Inverse of :meth:`to_dict` for the given topology.
+
+        The rebuilt result is freshly allocated — callers own it
+        outright and may mutate it freely.
+        """
+        import numpy as np
+
+        from repro.mapping.routing import EdgeLoads
+
+        if payload.get("schema") != MAPPING_RESULT_SCHEMA:
+            raise ValueError(f"not a {MAPPING_RESULT_SCHEMA} payload")
+        if payload.get("version") != MAPPING_RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported {MAPPING_RESULT_SCHEMA} version "
+                f"{payload.get('version')!r}"
+            )
+        rows, cols = (int(x) for x in payload["grid"])
+        grid = WaferGrid(rows, cols)
+        placement = Placement.from_assignment(
+            grid, topology, [int(s) for s in payload["site_of"]]
+        )
+        loads = EdgeLoads(
+            grid=grid,
+            h=np.array(payload["h"], dtype=np.int64).reshape(
+                rows, max(cols - 1, 0)
+            ),
+            v=np.array(payload["v"], dtype=np.int64).reshape(
+                max(rows - 1, 0), cols
+            ),
+            total_channel_hops=int(payload["total_channel_hops"]),
+        )
+        return cls(
+            placement=placement,
+            loads=loads,
+            io_style=IOStyle(payload["io_style"]),
+            sweeps=int(payload["sweeps"]),
+            swaps_accepted=int(payload["swaps_accepted"]),
         )
 
 
@@ -227,6 +304,7 @@ def optimize_mapping(
     max_sweeps: int = 30,
     jobs: int = 1,
     escalate: bool = True,
+    engine: str = "auto",
 ) -> MappingResult:
     """Multi-restart pairwise exchange; returns the best mapping found.
 
@@ -240,11 +318,14 @@ def optimize_mapping(
     selection is deterministic either way — lowest cost wins, ties
     broken by restart index — so serial and parallel runs return the
     same mapping. ``escalate`` enables the fast kernel's plateau pass
-    (ignored on the scalar path).
+    (ignored on the scalar path). ``engine`` picks the kernel
+    explicitly (``"auto"``, ``"fast"`` or ``"scalar"``, see
+    :mod:`repro.engines`); the resolved choice rides into pool workers
+    through the task tuples, so parallel restarts use the same kernel.
     """
     if grid is None:
         grid = grid_for(topology.chiplet_count)
-    scalar = use_scalar_kernel()
+    scalar = use_scalar_kernel(engine)
     n_restarts = max(1, restarts)
     tasks = [
         (topology, grid, io_style, strategy, seed, restart, max_sweeps, scalar, escalate)

@@ -37,24 +37,22 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional
 
-import numpy as np
-
+from repro import paths
 from repro.fingerprint import source_fingerprint, transitive_modules
 from repro.mapping.exchange import MappingResult
 from repro.mapping.grid import WaferGrid
-from repro.mapping.placement import Placement
-from repro.mapping.routing import EdgeLoads, IOStyle
+from repro.mapping.routing import IOStyle
 from repro.topology.base import LogicalTopology
 
-#: Environment variable overriding the cache root (shared with the
-#: experiment result cache).
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Deprecation shim — the resolver lives in :mod:`repro.paths` now.
+CACHE_DIR_ENV = paths.CACHE_DIR_ENV
 
 #: Set to "0" to disable the persistent store (memo still applies).
 STORE_ENV = "REPRO_MAPPING_STORE"
 
 #: Bump to invalidate every existing entry (serialization changes).
-STORE_FORMAT_VERSION = 1
+#: v2: the mapping body moved to the shared MappingResult.to_dict form.
+STORE_FORMAT_VERSION = 2
 
 #: Process-wide mapping activity counters (reported by ``--profile``).
 _STATS: Dict[str, float] = {}
@@ -100,8 +98,11 @@ def store_enabled() -> bool:
 
 
 def default_store_dir() -> Path:
-    """``$REPRO_CACHE_DIR/mappings`` if set, else ``.repro_cache/mappings``."""
-    return Path(os.environ.get(CACHE_DIR_ENV, ".repro_cache")) / "mappings"
+    """``$REPRO_CACHE_DIR/mappings`` if set, else ``.repro_cache/mappings``.
+
+    Deprecated alias for :func:`repro.paths.mapping_store_dir`.
+    """
+    return paths.mapping_store_dir()
 
 
 def topology_digest(topology: LogicalTopology) -> str:
@@ -188,26 +189,7 @@ class MappingStore:
         path = self.entry_path(topology, grid, io_style, params)
         try:
             payload = json.loads(path.read_text())
-            placement = Placement.from_assignment(
-                grid, topology, [int(s) for s in payload["site_of"]]
-            )
-            loads = EdgeLoads(
-                grid=grid,
-                h=np.array(payload["h"], dtype=np.int64).reshape(
-                    grid.rows, max(grid.cols - 1, 0)
-                ),
-                v=np.array(payload["v"], dtype=np.int64).reshape(
-                    max(grid.rows - 1, 0), grid.cols
-                ),
-                total_channel_hops=int(payload["total_channel_hops"]),
-            )
-            return MappingResult(
-                placement=placement,
-                loads=loads,
-                io_style=IOStyle(payload["io_style"]),
-                sweeps=int(payload["sweeps"]),
-                swaps_accepted=int(payload["swaps_accepted"]),
-            )
+            return MappingResult.from_dict(payload["result"], topology)
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
@@ -220,18 +202,14 @@ class MappingStore:
         grid = result.placement.grid
         path = self.entry_path(topology, grid, result.io_style, params)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # The mapping itself serializes through the shared
+        # MappingResult.to_dict path; this envelope only adds the
+        # store-level provenance.
         payload = {
             "format_version": STORE_FORMAT_VERSION,
             "topology": topology.name,
-            "grid": [grid.rows, grid.cols],
-            "io_style": result.io_style.value,
             "params": {k: params[k] for k in sorted(params)},
-            "site_of": [int(s) for s in result.placement.site_of],
-            "h": [int(x) for x in result.loads.h.ravel()],
-            "v": [int(x) for x in result.loads.v.ravel()],
-            "total_channel_hops": int(result.loads.total_channel_hops),
-            "sweeps": int(result.sweeps),
-            "swaps_accepted": int(result.swaps_accepted),
+            "result": result.to_dict(),
         }
         # Write-then-rename so a concurrent reader never sees a torn file.
         tmp = path.with_suffix(f".tmp{os.getpid()}")

@@ -49,6 +49,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import engines
 from repro.netsim import _fast_step
 from repro.netsim import packet as packet_module
 from repro.netsim.packet import Flit, Packet
@@ -65,9 +66,13 @@ def use_scalar_engine() -> bool:
     return os.environ.get(SCALAR_ENV, "") == "1"
 
 
-def netsim_engine_tag() -> str:
+def netsim_engine_tag(engine: str = "auto") -> str:
     """Provenance tag for experiment outputs."""
-    return "scalar" if use_scalar_engine() else "vectorized"
+    return (
+        "scalar"
+        if engines.resolve_netsim_engine(engine) == "scalar"
+        else "vectorized"
+    )
 
 
 # Flit codes pack (packet id, flit index) into one int64.
@@ -135,21 +140,25 @@ class _LazyPackets:
         return repr(self._real())
 
 
-def engine_for(network, telemetry=None) -> Optional["FastEngine"]:
+def engine_for(network, telemetry=None, engine: str = "auto") -> Optional["FastEngine"]:
     """Compile a vectorized engine for ``network``, or ``None``.
 
-    ``None`` falls back to the scalar object simulator: the oracle env
-    switch, an un-tagged route function (no ``route_spec``), a network
-    that is not pristine, or a shape outside the engine's support
-    (non-uniform radix/VC/buffer config, >16 VCs) all decline rather
-    than risk divergence.
+    ``engine`` is a :data:`repro.engines.NETSIM_ENGINES` name, resolved
+    once here (callers that resolved already may pass the concrete
+    value through — resolution is idempotent). ``None`` falls back to
+    the scalar object simulator: a ``"scalar"`` resolution (requested
+    or env-forced), an un-tagged route function (no ``route_spec``), a
+    network that is not pristine, or a shape outside the engine's
+    support (non-uniform radix/VC/buffer config, >16 VCs) all decline
+    rather than risk divergence.
     """
-    if use_scalar_engine():
+    resolved = engines.resolve_netsim_engine(engine)
+    if resolved == "scalar":
         return None
     if getattr(network, "route_spec", None) is None:
         return None
     try:
-        return FastEngine(network, telemetry)
+        return FastEngine(network, telemetry, use_c=resolved == "c")
     except _Incompatible:
         return None
 
@@ -157,7 +166,7 @@ def engine_for(network, telemetry=None) -> Optional["FastEngine"]:
 class FastEngine:
     """One compiled run-engine for a pristine :class:`NetworkModel`."""
 
-    def __init__(self, network, telemetry=None):
+    def __init__(self, network, telemetry=None, use_c: bool = True):
         if network.telemetry is not None:
             raise _Incompatible("a telemetry sink is already attached")
         if network.cycle != 0 or network.in_flight_flits() != 0:
@@ -182,10 +191,11 @@ class FastEngine:
         # instrumented implementation. The gate must mirror
         # :meth:`_c_build`'s own bail-outs exactly.
         if telemetry is not None and (
-            _fast_step.load_kernel() is None or P > 64
+            not use_c or _fast_step.load_kernel() is None or P > 64
         ):
             raise _Incompatible("telemetry requires the compiled kernel")
         self.telemetry = telemetry
+        self.use_c = use_c
 
         self.network = network
         self.R = R = len(routers)
@@ -938,7 +948,7 @@ class FastEngine:
         counter is sequential, so consuming ``n`` ids in one slice is
         identical to drawing them inside the loop.
         """
-        kernel = _fast_step.load_kernel()
+        kernel = _fast_step.load_kernel() if self.use_c else None
         if kernel is None or self.T < 2:
             return None
         pattern = injector.pattern
@@ -988,7 +998,7 @@ class FastEngine:
         (event rings, RC buckets, pending lists, the delivery log) are
         allocated here and exported back by :meth:`_c_export`.
         """
-        kernel = _fast_step.load_kernel()
+        kernel = _fast_step.load_kernel() if self.use_c else None
         if kernel is None or self.P > 64:
             return None
         ffi, lib = kernel

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro.engines import resolve_netsim_engine
 from repro.netsim import fast_core
 from repro.netsim.config import SimConfig
 from repro.netsim.network import NetworkModel
@@ -84,6 +85,7 @@ class Simulator:
         measure_cycles: int = 2000,
         drain_cycles: int = 3000,
         telemetry: Optional[Telemetry] = None,
+        engine: str = "auto",
     ) -> RunStats:
         """Warm up, measure, and drain; return the window's statistics.
 
@@ -96,12 +98,13 @@ class Simulator:
         :class:`~repro.netsim.stats.RunStats`.
         """
         network = self.network
-        # Engine selection happens once per run: the vectorized
-        # struct-of-arrays core when it supports this network (and
-        # ``REPRO_SCALAR_NETSIM=1`` is not forcing the oracle), the
-        # object simulator otherwise. Both produce bit-identical
+        # Engine selection happens once per run, resolved ahead of the
+        # env-var escape hatches (repro.engines): the vectorized
+        # struct-of-arrays core when requested and supported, the
+        # object simulator otherwise. All engines produce bit-identical
         # results (tests/netsim/test_differential.py).
-        engine = fast_core.engine_for(network, telemetry)
+        engine_name = resolve_netsim_engine(engine)
+        engine = fast_core.engine_for(network, telemetry, engine=engine_name)
         if engine is not None:
             return engine.run_bernoulli(
                 self.injector, warmup_cycles, measure_cycles, drain_cycles
@@ -154,6 +157,7 @@ def run_sim(
     load: float,
     config: Optional[SimConfig] = None,
     telemetry: Optional[Telemetry] = None,
+    engine: str = "auto",
 ) -> RunStats:
     """Run one warmup/measure/drain simulation on a built network.
 
@@ -164,7 +168,10 @@ def run_sim(
     TrafficPattern` — an offered load in flits/cycle/terminal, and
     optionally a :class:`~repro.netsim.config.SimConfig` for the
     window/seed parameters and a :class:`~repro.netsim.telemetry.
-    Telemetry` sink for per-router instrumentation.
+    Telemetry` sink for per-router instrumentation. ``engine`` picks
+    the simulation kernel explicitly (``"auto"``, ``"c"``, ``"numpy"``
+    or ``"scalar"`` — see :mod:`repro.engines`); the env switches
+    remain as CI overrides.
 
     >>> from repro.netsim.config import SimConfig
     >>> from repro.netsim.network import single_router_network
@@ -194,6 +201,7 @@ def run_sim(
         measure_cycles=config.measure_cycles,
         drain_cycles=config.drain_cycles,
         telemetry=telemetry,
+        engine=resolve_netsim_engine(engine),
     )
 
 
@@ -217,6 +225,7 @@ def load_latency_sweep(
     measure_cycles: int = 1500,
     seed: int = 1,
     telemetry_factory: Optional[Callable[[float], Optional[Telemetry]]] = None,
+    engine: str = "auto",
 ) -> List[LoadLatencyPoint]:
     """Average latency vs offered load (Figs 22, 23, 24 style curves).
 
@@ -234,6 +243,7 @@ def load_latency_sweep(
     """
     points: List[LoadLatencyPoint] = []
     zero_load_latency: Optional[float] = None
+    engine = resolve_netsim_engine(engine)
     for load in loads:
         network = network_factory()
         pattern = pattern_factory(network.n_terminals)
@@ -245,6 +255,7 @@ def load_latency_sweep(
             warmup_cycles=warmup_cycles,
             measure_cycles=measure_cycles,
             telemetry=telemetry,
+            engine=engine,
         )
         latency = stats.avg_latency_cycles
         tracks_offered = stats.packets_delivered > 0 and (
@@ -279,6 +290,7 @@ def saturation_throughput(
     measure_cycles: int = 1500,
     seed: int = 1,
     telemetry: Optional[Telemetry] = None,
+    engine: str = "auto",
 ) -> float:
     """Accepted throughput at an offered load far past saturation.
 
@@ -295,5 +307,6 @@ def saturation_throughput(
         measure_cycles=measure_cycles,
         drain_cycles=0,
         telemetry=telemetry,
+        engine=resolve_netsim_engine(engine),
     )
     return stats.accepted_load

@@ -25,9 +25,15 @@ Windowing contract (Booksim's methodology, made explicit):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List
 
 from repro.netsim.config import CYCLE_TIME_NS
+
+#: Schema tag/version for :meth:`RunStats.to_dict` payloads. Bump the
+#: version on any incompatible field change; ``from_dict`` refuses
+#: payloads from a different major version.
+RUN_STATS_SCHEMA = "repro-run-stats"
+RUN_STATS_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -56,6 +62,57 @@ class RunStats:
             )
             return True
         return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned JSON-serializable form (see :meth:`from_dict`).
+
+        This is the one serialization path for run statistics — server
+        responses (:mod:`repro.api`) and telemetry bundles both emit
+        it. Derived properties (latency averages, loads) are included
+        read-only for human consumers but ignored on the way back in.
+        """
+        return {
+            "schema": RUN_STATS_SCHEMA,
+            "version": RUN_STATS_SCHEMA_VERSION,
+            "measure_start": int(self.measure_start),
+            "measure_end": int(self.measure_end),
+            # int() per element: the vectorized engine fills this list
+            # with numpy integers, which json.dumps rejects.
+            "latencies_cycles": [int(x) for x in self.latencies_cycles],
+            "flits_delivered": int(self.flits_delivered),
+            "flits_offered": int(self.flits_offered),
+            "n_terminals": int(self.n_terminals),
+            "packets_created": int(self.packets_created),
+            "derived": {
+                "packets_delivered": self.packets_delivered,
+                "packets_outstanding": self.packets_outstanding,
+                "avg_latency_cycles": self.avg_latency_cycles,
+                "avg_latency_ns": self.avg_latency_ns,
+                "p99_latency_cycles": self.p99_latency_cycles,
+                "accepted_load": self.accepted_load,
+                "offered_load": self.offered_load,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunStats":
+        """Inverse of :meth:`to_dict`; round-trips every stored field."""
+        if payload.get("schema") != RUN_STATS_SCHEMA:
+            raise ValueError(f"not a {RUN_STATS_SCHEMA} payload")
+        if payload.get("version") != RUN_STATS_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported {RUN_STATS_SCHEMA} version "
+                f"{payload.get('version')!r}"
+            )
+        return cls(
+            measure_start=int(payload["measure_start"]),
+            measure_end=int(payload["measure_end"]),
+            latencies_cycles=[int(x) for x in payload["latencies_cycles"]],
+            flits_delivered=int(payload["flits_delivered"]),
+            flits_offered=int(payload["flits_offered"]),
+            n_terminals=int(payload["n_terminals"]),
+            packets_created=int(payload["packets_created"]),
+        )
 
     @property
     def packets_delivered(self) -> int:

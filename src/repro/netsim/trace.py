@@ -241,6 +241,7 @@ def replay_trace(
     compression: float = 1.0,
     max_cycles: int = 200_000,
     telemetry=None,
+    engine: str = "auto",
 ) -> RunStats:
     """Replay a trace to completion and return its statistics.
 
@@ -248,10 +249,15 @@ def replay_trace(
     fast (the load knob for the Fig 24 curves). An optional
     :class:`~repro.netsim.telemetry.Telemetry` sink is driven through a
     single ``replay`` window spanning the whole run (trace replay has
-    no warmup/measurement split — every packet counts).
+    no warmup/measurement split — every packet counts). ``engine``
+    picks the simulation kernel explicitly (see :mod:`repro.engines`);
+    resolved once here, ahead of the env-var escape hatches.
     """
     if compression <= 0:
         raise ValueError("compression must be positive")
+    from repro.engines import resolve_netsim_engine
+
+    engine = resolve_netsim_engine(engine)
     schedule = sorted(
         ((max(0, int(e.cycle / compression)), e) for e in events),
         key=lambda pair: pair[0],
@@ -259,9 +265,9 @@ def replay_trace(
     if telemetry is None:
         from repro.netsim import fast_core
 
-        engine = fast_core.engine_for(network)
-        if engine is not None:
-            return engine.run_replay(schedule, max_cycles)
+        fast = fast_core.engine_for(network, engine=engine)
+        if fast is not None:
+            return fast.run_replay(schedule, max_cycles)
     stats = RunStats(measure_start=0, measure_end=0, n_terminals=network.n_terminals)
     if telemetry is not None:
         telemetry.attach(network)

@@ -28,6 +28,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from concurrent.futures.process import BrokenProcessPool
 
+from repro import engines
+
 #: Placeholder for a result not yet produced.
 _UNSET = object()
 
@@ -54,15 +56,69 @@ def _engine_env() -> Dict[str, str]:
     }
 
 
-def _init_worker(engine_env: Dict[str, str]) -> None:
-    """Pool initializer: mirror the parent's engine switches exactly."""
+def _init_worker(
+    engine_env: Dict[str, str],
+    engine_defaults: Optional[Dict[str, str]] = None,
+) -> None:
+    """Pool initializer: mirror the parent's engine switches exactly.
+
+    Both layers of engine selection cross the process boundary — the
+    env-var escape hatches *and* the explicit process defaults set via
+    :func:`repro.engines.set_default_engines` — so a ``--jobs`` run
+    honors a top-level ``engine=`` choice in every worker.
+    """
     for name in ENGINE_ENV_VARS:
         os.environ.pop(name, None)
     os.environ.update(engine_env)
+    if engine_defaults is not None:
+        engines.set_default_engines(**engine_defaults)
 
 
 def _warn(message: str) -> None:
     print(f"[scheduler] {message}", file=sys.stderr)
+
+
+#: The process-wide long-lived pool behind :func:`shared_executor`.
+_SHARED_POOL: Optional[ProcessPoolExecutor] = None
+
+
+def shared_executor(max_workers: Optional[int] = None) -> ProcessPoolExecutor:
+    """The process-wide long-lived pool (created on first use).
+
+    Long-running callers — the :mod:`repro.serve` server dispatches
+    every cold query here — share one warm pool instead of paying
+    worker start-up per request. Workers get the same engine-mirroring
+    initializer as :func:`pool_map` pools. ``max_workers`` only applies
+    to the first call (the pool is created once); it defaults to the
+    CPU count.
+
+    Unlike the short-lived :func:`pool_map` pools, workers here must
+    NOT be plain forks of the parent: the serve layer spawns them
+    lazily while client sockets are open, and a forked worker would
+    inherit those socket FDs and hold connections half-open long after
+    the server closes them. ``forkserver`` starts workers from a clean
+    exec'd process, so no parent FDs leak (and non-inheritable FDs
+    stay that way).
+    """
+    global _SHARED_POOL
+    if _SHARED_POOL is None:
+        import multiprocessing
+
+        _SHARED_POOL = ProcessPoolExecutor(
+            max_workers=max_workers or os.cpu_count() or 1,
+            mp_context=multiprocessing.get_context("forkserver"),
+            initializer=_init_worker,
+            initargs=(_engine_env(), engines.default_engines()),
+        )
+    return _SHARED_POOL
+
+
+def shutdown_shared_executor() -> None:
+    """Tear down the shared pool (the next use recreates it)."""
+    global _SHARED_POOL
+    if _SHARED_POOL is not None:
+        _SHARED_POOL.shutdown(wait=False, cancel_futures=True)
+        _SHARED_POOL = None
 
 
 @dataclass
@@ -108,7 +164,7 @@ def _run_pool(fn, tasks, results, jobs, timeout, labels) -> None:
     pool = ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_init_worker,
-        initargs=(_engine_env(),),
+        initargs=(_engine_env(), engines.default_engines()),
     )
     futures = {}
     broken = False

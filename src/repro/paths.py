@@ -1,0 +1,70 @@
+"""One resolver for every on-disk cache location.
+
+The experiment result cache, the persistent mapping store, and the
+serve-layer response cache all live under a single root —
+``.repro_cache/`` in the working directory unless ``REPRO_CACHE_DIR``
+overrides it. The resolution logic used to be duplicated in
+:mod:`repro.experiments.cache` and :mod:`repro.mapping.store`; both now
+delegate here (their old module-level names remain importable as
+deprecation shims).
+
+Explicit always beats implicit: every function takes an optional
+``root``/``override`` argument so programmatic callers — the
+:mod:`repro.api` facade and the :mod:`repro.serve` server — can pin a
+cache directory without touching the process environment. The
+environment variable stays as the CLI-era escape hatch.
+
+Layout under the root::
+
+    .repro_cache/
+        <experiment>-<mode>-<key>.json   experiment result cache
+        mappings/mapping-<key>.json      persistent mapping store
+        serve/response-<key>.json        serve-layer response cache
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+#: Environment variable overriding the shared cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache root (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+PathLike = Union[str, Path]
+
+
+def cache_root(override: Optional[PathLike] = None) -> Path:
+    """The shared cache root directory (not created).
+
+    Resolution order: the explicit ``override`` argument, then
+    ``$REPRO_CACHE_DIR``, then ``.repro_cache`` in the cwd.
+
+    >>> import os
+    >>> os.environ.pop("REPRO_CACHE_DIR", None) and None
+    >>> cache_root().name
+    '.repro_cache'
+    >>> cache_root("/tmp/elsewhere").as_posix()
+    '/tmp/elsewhere'
+    """
+    if override is not None:
+        return Path(override)
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+def experiment_cache_dir(root: Optional[PathLike] = None) -> Path:
+    """Directory holding experiment result entries (the root itself)."""
+    return cache_root(root)
+
+
+def mapping_store_dir(root: Optional[PathLike] = None) -> Path:
+    """Directory holding persisted mapping entries."""
+    return cache_root(root) / "mappings"
+
+
+def serve_cache_dir(root: Optional[PathLike] = None) -> Path:
+    """Directory holding serve-layer query/response entries."""
+    return cache_root(root) / "serve"

@@ -1,0 +1,332 @@
+"""Transport-agnostic request broker for the serve layer.
+
+The :class:`Dispatcher` sits between any front end (the HTTP server in
+:mod:`repro.serve.server`, or a test driving it directly) and the
+:mod:`repro.api` facade. It answers each query payload through a
+three-level ladder:
+
+1. **Response cache** — completed responses persist as JSON under
+   ``.repro_cache/serve/`` keyed by :func:`repro.api.query_key`
+   (query fields + resolved engines + source fingerprint), so a warm
+   query is a single small file read;
+2. **In-flight coalescing** — identical cold queries that arrive while
+   the first one is still computing attach to its future instead of
+   resubmitting; one pool submission serves all of them, and a crash
+   delivers the same structured error to every waiter **without**
+   poisoning the cache (errors are never cached);
+3. **Pool dispatch** — genuinely cold work runs
+   :func:`repro.api.execute_payload` on the shared process pool from
+   :mod:`repro.parallel` (or any injected executor).
+
+``simulate`` queries with ``telemetry: true`` can instead be streamed:
+:meth:`Dispatcher.stream` runs them on a thread (telemetry callbacks
+cannot cross a process boundary) and yields each load point's report
+the moment it is finished, followed by the final response.
+
+Every decision increments a counter (``requests``, ``cache_hits``,
+``coalesced``, ``pool_submissions``, ``errors``, ``streamed``)
+surfaced by the server's ``/v1/stats`` endpoint and consumed by
+``benchmarks/bench_serve.py`` to measure dedup and hit ratios.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from concurrent.futures import Executor
+from functools import partial
+from pathlib import Path
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
+
+from repro import api, paths
+
+#: A dispatch outcome: (HTTP-ish status code, JSON-serializable body).
+Outcome = Tuple[int, Dict[str, Any]]
+
+
+def error_body(status: int, kind: str, message: str) -> Dict[str, Any]:
+    """Structured error envelope (mirrors the response envelope tags)."""
+    return {
+        "schema": api.RESPONSE_SCHEMA,
+        "version": api.RESPONSE_SCHEMA_VERSION,
+        "error": {"status": status, "type": kind, "message": message},
+    }
+
+
+class ResponseCache:
+    """Persists completed serve responses as JSON files.
+
+    Same discipline as the experiment and mapping caches: file names
+    embed the content key (so source edits strand old entries instead
+    of serving stale ones), ``load`` returns ``None`` on any miss or
+    unreadable file, and writes are atomic (write-then-rename). Only
+    successful responses are ever stored — see :class:`Dispatcher`.
+    """
+
+    def __init__(self, directory: Optional[Path] = None):
+        self.directory = (
+            Path(directory) if directory is not None else paths.serve_cache_dir()
+        )
+
+    def entry_path(self, key: str) -> Path:
+        return self.directory / f"response-{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self.entry_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def store(self, key: str, response: Dict[str, Any]) -> Path:
+        path = self.entry_path(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(response) + "\n")
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        removed = 0
+        if self.directory.is_dir():
+            for entry in self.directory.glob("response-*.json"):
+                entry.unlink()
+                removed += 1
+        return removed
+
+
+class Dispatcher:
+    """Coalescing broker from query payloads to response bodies.
+
+    Args:
+        executor: Anything with ``submit(fn) -> concurrent.futures.
+            Future``; defaults (lazily) to the shared process pool of
+            :mod:`repro.parallel`. Tests inject a fake to count and
+            control submissions.
+        cache: A :class:`ResponseCache`, or ``None`` to disable warm
+            responses (every request then coalesces or recomputes).
+        engine / mapping_engine: Kernel selection applied to every
+            query this dispatcher executes (:mod:`repro.engines`
+            names); environment overrides still win inside workers.
+        sweep_cache: Forwarded to :func:`repro.api.execute` as its
+            ``cache`` argument for sweep queries.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResponseCache] = None,
+        engine: str = "auto",
+        mapping_engine: str = "auto",
+        sweep_cache: Any = "default",
+    ):
+        self._executor = executor
+        self.cache = cache
+        self.engine = engine
+        self.mapping_engine = mapping_engine
+        self.sweep_cache = sweep_cache
+        self._inflight: Dict[str, "asyncio.Future[Outcome]"] = {}
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "pool_submissions": 0,
+            "errors": 0,
+            "streamed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Execution plumbing
+    # ------------------------------------------------------------------
+
+    def executor(self) -> Executor:
+        """The target for cold work (created on first use)."""
+        if self._executor is None:
+            from repro.parallel import shared_executor
+
+            self._executor = shared_executor()
+        return self._executor
+
+    def _parse(self, payload: Any) -> api.Query:
+        if not isinstance(payload, dict):
+            raise api.QueryError("query payload must be a JSON object")
+        return api.query_from_dict(payload)
+
+    def _execute_call(self, query: api.Query):
+        """Module-level-picklable call for the process pool."""
+        return partial(
+            api.execute_payload,
+            query.to_dict(),
+            engine=self.engine,
+            mapping_engine=self.mapping_engine,
+            cache=self.sweep_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    async def submit(self, payload: Any) -> Outcome:
+        """Answer one query payload; never raises for request faults.
+
+        Returns ``(status, body)`` where status is 200 on success, 400
+        for malformed queries and 500 for execution failures. Faulted
+        outcomes are shared verbatim with every coalesced waiter but
+        are never written to the response cache, so one crash cannot
+        poison later identical requests.
+        """
+        self.counters["requests"] += 1
+        try:
+            query = self._parse(payload)
+        except api.QueryError as exc:
+            self.counters["errors"] += 1
+            return 400, error_body(400, "QueryError", str(exc))
+
+        key = api.query_key(query, self.engine, self.mapping_engine)
+        if self.cache is not None:
+            cached = self.cache.load(key)
+            if cached is not None:
+                self.counters["cache_hits"] += 1
+                return 200, cached
+
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.counters["coalesced"] += 1
+            return await asyncio.shield(pending)
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Outcome]" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            outcome = await self._run_cold(query, key)
+        except BaseException:
+            # Cancellation or a bug in our own plumbing: wake waiters
+            # with a structured error rather than hanging them.
+            outcome = (500, error_body(500, "DispatchError", "dispatch failed"))
+            raise
+        finally:
+            self._inflight.pop(key, None)
+            future.set_result(outcome)
+        return outcome
+
+    async def _run_cold(self, query: api.Query, key: str) -> Outcome:
+        self.counters["pool_submissions"] += 1
+        loop = asyncio.get_running_loop()
+        try:
+            response = await asyncio.wrap_future(
+                self.executor().submit(self._execute_call(query)),
+                loop=loop,
+            )
+        except api.QueryError as exc:
+            self.counters["errors"] += 1
+            return 400, error_body(400, "QueryError", str(exc))
+        except Exception as exc:
+            self.counters["errors"] += 1
+            return 500, error_body(500, type(exc).__name__, str(exc))
+        if self.cache is not None:
+            self.cache.store(key, response)
+        return 200, response
+
+    # ------------------------------------------------------------------
+    # Streaming path (simulate + telemetry)
+    # ------------------------------------------------------------------
+
+    async def stream(self, payload: Any) -> AsyncIterator[Dict[str, Any]]:
+        """Stream a simulate query as NDJSON-ready event dicts.
+
+        Yields ``{"event": "telemetry", "load": ..., "report": ...}``
+        per finished load point, then exactly one terminal event:
+        ``{"event": "result", "status": ..., "body": ...}``. Runs on a
+        worker thread (not the process pool) so telemetry callbacks can
+        cross back into the event loop as each point completes; the
+        final successful response still lands in the response cache.
+        """
+        self.counters["requests"] += 1
+        self.counters["streamed"] += 1
+        try:
+            query = self._parse(payload)
+            if not isinstance(query, api.SimQuery):
+                raise api.QueryError("only simulate queries can stream")
+        except api.QueryError as exc:
+            self.counters["errors"] += 1
+            yield {
+                "event": "result",
+                "status": 400,
+                "body": error_body(400, "QueryError", str(exc)),
+            }
+            return
+
+        key = api.query_key(query, self.engine, self.mapping_engine)
+        if self.cache is not None:
+            cached = self.cache.load(key)
+            if cached is not None:
+                self.counters["cache_hits"] += 1
+                for point in cached["result"].get("telemetry", []):
+                    yield {"event": "telemetry", **point}
+                yield {"event": "result", "status": 200, "body": cached}
+                return
+
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
+
+        def on_telemetry(load: float, report: Dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(
+                queue.put_nowait,
+                {"event": "telemetry", "load": load, "report": report},
+            )
+
+        def run() -> None:
+            try:
+                response = api.execute(
+                    query,
+                    engine=self.engine,
+                    mapping_engine=self.mapping_engine,
+                    cache=self.sweep_cache,
+                    on_telemetry=on_telemetry,
+                )
+                event = {"event": "result", "status": 200, "body": response}
+            except api.QueryError as exc:
+                event = {
+                    "event": "result",
+                    "status": 400,
+                    "body": error_body(400, "QueryError", str(exc)),
+                }
+            except Exception as exc:  # crash -> structured terminal event
+                event = {
+                    "event": "result",
+                    "status": 500,
+                    "body": error_body(500, type(exc).__name__, str(exc)),
+                }
+            loop.call_soon_threadsafe(queue.put_nowait, event)
+
+        runner = loop.run_in_executor(None, run)
+        try:
+            while True:
+                event = await queue.get()
+                if event["event"] == "result":
+                    if event["status"] == 200:
+                        if self.cache is not None:
+                            self.cache.store(key, event["body"])
+                    else:
+                        self.counters["errors"] += 1
+                    yield event
+                    return
+                yield event
+        finally:
+            await runner
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot plus derived ratios for ``/v1/stats``."""
+        counters = dict(self.counters)
+        requests = counters["requests"]
+        deduped = counters["cache_hits"] + counters["coalesced"]
+        return {
+            "counters": counters,
+            "inflight": len(self._inflight),
+            "dedup_ratio": (deduped / requests) if requests else 0.0,
+            "cache_hit_rate": (
+                counters["cache_hits"] / requests if requests else 0.0
+            ),
+        }

@@ -17,6 +17,10 @@ from typing import Dict, Iterable, List, Mapping, Tuple
 from repro.tech.chiplet import SubSwitchChiplet
 from repro.units import require_positive
 
+#: Schema tag/version for :meth:`LogicalTopology.to_dict` payloads.
+TOPOLOGY_SCHEMA = "repro-topology"
+TOPOLOGY_SCHEMA_VERSION = 1
+
 
 class NodeRole(enum.Enum):
     """Role of an SSC within the logical topology."""
@@ -159,6 +163,76 @@ class LogicalTopology:
 
     def nodes_with_external_ports(self) -> List[SwitchNode]:
         return [n for n in self.nodes if n.external_ports > 0]
+
+    def to_dict(self) -> Dict:
+        """Versioned JSON-serializable form (see :meth:`from_dict`).
+
+        Chiplets are deduplicated into a table (a big Clos repeats one
+        SSC model hundreds of times) and each node references its row;
+        the payload reconstructs without any registry lookup, so custom
+        chiplets survive the round trip.
+        """
+        chiplets: List[SubSwitchChiplet] = []
+        chiplet_row: Dict[SubSwitchChiplet, int] = {}
+        node_rows = []
+        for node in self.nodes:
+            row = chiplet_row.get(node.chiplet)
+            if row is None:
+                row = chiplet_row[node.chiplet] = len(chiplets)
+                chiplets.append(node.chiplet)
+            node_rows.append([node.index, node.role.value, row, node.external_ports])
+        return {
+            "schema": TOPOLOGY_SCHEMA,
+            "version": TOPOLOGY_SCHEMA_VERSION,
+            "name": self.name,
+            "port_bandwidth_gbps": self.port_bandwidth_gbps,
+            "path_diversity": self.path_diversity,
+            "chiplets": [
+                {
+                    "name": c.name,
+                    "radix": c.radix,
+                    "port_bandwidth_gbps": c.port_bandwidth_gbps,
+                    "area_mm2": c.area_mm2,
+                    "core_power_w": c.core_power_w,
+                    "io_energy_pj_per_bit": c.io_energy_pj_per_bit,
+                }
+                for c in chiplets
+            ],
+            "nodes": node_rows,
+            "links": [[l.a, l.b, l.channels] for l in self.links],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "LogicalTopology":
+        """Inverse of :meth:`to_dict`; revalidates every invariant."""
+        if payload.get("schema") != TOPOLOGY_SCHEMA:
+            raise ValueError(f"not a {TOPOLOGY_SCHEMA} payload")
+        if payload.get("version") != TOPOLOGY_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported {TOPOLOGY_SCHEMA} version "
+                f"{payload.get('version')!r}"
+            )
+        chiplets = [SubSwitchChiplet(**row) for row in payload["chiplets"]]
+        nodes = tuple(
+            SwitchNode(
+                index=int(index),
+                role=NodeRole(role),
+                chiplet=chiplets[int(row)],
+                external_ports=int(external),
+            )
+            for index, role, row, external in payload["nodes"]
+        )
+        links = tuple(
+            LogicalLink(int(a), int(b), int(channels))
+            for a, b, channels in payload["links"]
+        )
+        return cls(
+            name=payload["name"],
+            nodes=nodes,
+            links=links,
+            port_bandwidth_gbps=float(payload["port_bandwidth_gbps"]),
+            path_diversity=int(payload["path_diversity"]),
+        )
 
     def adjacency(self) -> Dict[int, Dict[int, int]]:
         """Adjacency map ``{node: {neighbor: channels}}``."""

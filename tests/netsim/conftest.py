@@ -16,11 +16,11 @@ import pytest
 
 from repro.netsim.sim import Simulator
 
-#: Fast-tier (warmup, measure, drain, telemetry) defaults — must match
-#: the arity of Simulator.run's trailing defaulted parameters (defaults
-#: right-align, so a mismatched tuple would silently shift budgets
-#: onto the wrong parameters).
-FAST_RUN_DEFAULTS = (250, 500, 750, None)
+#: Fast-tier (warmup, measure, drain, telemetry, engine) defaults —
+#: must match the arity of Simulator.run's trailing defaulted
+#: parameters (defaults right-align, so a mismatched tuple would
+#: silently shift budgets onto the wrong parameters).
+FAST_RUN_DEFAULTS = (250, 500, 750, None, "auto")
 
 
 @pytest.fixture(scope="session", autouse=True)

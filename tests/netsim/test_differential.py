@@ -313,7 +313,11 @@ def test_pregen_uniform_matches_python_rng(seed, load, cycles):
         config=RouterConfig(num_vcs=2, buffer_flits_per_port=8),
     )
     engine = fast_core.engine_for(network)
-    assume(engine is not None)
+    if engine is None:
+        # The scalar oracle has no pre-generator to pin; with
+        # REPRO_SCALAR_NETSIM=1 forced, assume() would filter every
+        # input and trip hypothesis' health check instead of skipping.
+        pytest.skip("no fast engine available (scalar oracle forced)")
     pattern = make_pattern("uniform", network.n_terminals)
     injector = BernoulliInjector(pattern, load, 4, seed=seed)
     reference_rng = random.Random()

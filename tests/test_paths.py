@@ -1,0 +1,39 @@
+"""Tests for the shared cache-path resolver (repro.paths)."""
+
+from pathlib import Path
+
+from repro import paths
+
+
+def test_default_root_is_relative_repro_cache(monkeypatch):
+    monkeypatch.delenv(paths.CACHE_DIR_ENV, raising=False)
+    assert paths.cache_root() == Path(paths.DEFAULT_CACHE_DIR)
+
+
+def test_env_var_overrides_default(monkeypatch, tmp_path):
+    monkeypatch.setenv(paths.CACHE_DIR_ENV, str(tmp_path))
+    assert paths.cache_root() == tmp_path
+
+
+def test_explicit_override_beats_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(paths.CACHE_DIR_ENV, str(tmp_path / "env"))
+    assert paths.cache_root(tmp_path / "arg") == tmp_path / "arg"
+
+
+def test_layer_subdirectories_share_one_root(monkeypatch, tmp_path):
+    monkeypatch.setenv(paths.CACHE_DIR_ENV, str(tmp_path))
+    assert paths.experiment_cache_dir() == tmp_path
+    assert paths.mapping_store_dir() == tmp_path / "mappings"
+    assert paths.serve_cache_dir() == tmp_path / "serve"
+
+
+def test_deprecation_shims_still_importable(monkeypatch, tmp_path):
+    """PR-3/4 call sites import these names from their old homes."""
+    from repro.experiments import cache as exp_cache
+    from repro.mapping import store as map_store
+
+    assert exp_cache.CACHE_DIR_ENV == paths.CACHE_DIR_ENV
+    assert map_store.CACHE_DIR_ENV == paths.CACHE_DIR_ENV
+    monkeypatch.setenv(paths.CACHE_DIR_ENV, str(tmp_path))
+    assert exp_cache.default_cache_dir() == paths.experiment_cache_dir()
+    assert map_store.default_store_dir() == tmp_path / "mappings"
