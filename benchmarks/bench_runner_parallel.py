@@ -1,21 +1,29 @@
-"""Experiment-runner benchmark: serial vs parallel vs warm cache.
+"""Experiment-runner benchmark: serial vs warm-pool parallel vs cache.
 
 Times three runs of the same experiment suite through
 ``repro.experiments.runner.run_experiments``:
 
-1. **parallel cold** — work units fanned over ``--jobs`` processes,
-   no result cache;
+1. **parallel cold** — work units fanned over the warm worker pool
+   (``--jobs``), no result cache;
 2. **serial cold** — one process, storing into a fresh result cache;
 3. **warm cache** — the same suite again, served from the cache.
 
 Both cold phases start from an empty in-process mapping memo AND an
 empty persistent mapping store (redirected into the benchmark's temp
 directory), so they measure genuine compute. Verifies the parallel
-tables are identical to the serial ones and writes
-``BENCH_runner.json`` with all three wall-clocks plus the parallel and
-cache speedups. Parallel speedup scales with physical cores (a
-single-core container shows ~1x or a small regression); the cache
-speedup is machine-independent and must stay large.
+tables are identical to the serial ones, measures the warm pool's
+per-task dispatch latency with a microbenchmark, and writes
+``BENCH_runner.json`` with the wall-clocks, the speedups, and two
+**gates**:
+
+* ``parallel_gate`` — ``parallel_speedup >= min(effective_cores,
+  units) / 2``. On a multi-core box the pool must actually pay; on a
+  single effective core the degraded-to-serial fast path makes the
+  parallel run ≈ the serial run, so the gate threshold is 0.5 and a
+  healthy fast path clears it at ~1.0.
+* ``fastpath_gate`` — on one effective core the "parallel" cold run
+  must stay within 5% of plain serial (the fast path may not tax
+  small machines). Skipped (passes trivially) on multi-core.
 
 Usage::
 
@@ -32,17 +40,27 @@ import argparse
 import json
 import os
 import pathlib
+import statistics
 import tempfile
 import time
 
 from repro.core.design import clear_mapping_cache
-from repro.experiments.base import EXPERIMENT_IDS
+from repro.experiments.base import EXPERIMENT_IDS, get_spec
 from repro.experiments.cache import CACHE_DIR_ENV, ResultCache
 from repro.experiments.runner import run_experiments
 from repro.mapping.store import MappingStore
+from repro.parallel import (
+    PARALLEL_MODE_ENV,
+    effective_cpu_count,
+    pool_map,
+    shutdown_shared_executor,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 ARTIFACT_PATH = REPO_ROOT / "BENCH_runner.json"
+
+#: Tasks in the dispatch-latency microbenchmark.
+DISPATCH_PROBE_TASKS = 32
 
 
 def _timed(label: str, cold: bool = False, **kwargs):
@@ -56,8 +74,54 @@ def _timed(label: str, cold: bool = False, **kwargs):
     return results, elapsed
 
 
+def _noop(index: int) -> int:
+    return index
+
+
+def measure_dispatch_latency(tasks: int = DISPATCH_PROBE_TASKS) -> dict:
+    """Warm-pool per-task dispatch overhead on trivial tasks.
+
+    Forces the pool on (so the serial fast path cannot hide the cost
+    being measured), runs one warm-up batch, then times a batch of
+    no-op tasks. ``dispatch_s`` per task is the time the task and its
+    result spent crossing process boundaries — the pool's whole
+    overhead, since the task itself does nothing.
+    """
+    previous = os.environ.get(PARALLEL_MODE_ENV)
+    os.environ[PARALLEL_MODE_ENV] = "force"
+    try:
+        pool_map(_noop, [(i,) for i in range(4)], jobs=2)  # warm the pool
+        stats: list = []
+        start = time.perf_counter()
+        pool_map(
+            _noop, [(i,) for i in range(tasks)], jobs=2, dispatch_stats=stats
+        )
+        batch_s = time.perf_counter() - start
+    finally:
+        if previous is None:
+            os.environ.pop(PARALLEL_MODE_ENV, None)
+        else:
+            os.environ[PARALLEL_MODE_ENV] = previous
+    latencies = sorted(
+        row["dispatch_s"] for row in stats if row and "dispatch_s" in row
+    )
+    return {
+        "tasks": tasks,
+        "batch_seconds": round(batch_s, 4),
+        "dispatch_p50_ms": round(
+            statistics.median(latencies) * 1000, 3
+        ) if latencies else None,
+        "dispatch_mean_ms": round(
+            statistics.fmean(latencies) * 1000, 3
+        ) if latencies else None,
+        "dispatch_max_ms": round(latencies[-1] * 1000, 3)
+        if latencies else None,
+    }
+
+
 def run_bench(ids, fast: bool = True, jobs: int = 4) -> dict:
     ids = list(ids)
+    units = sum(len(get_spec(i).units(fast=fast)) for i in ids)
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
         # Redirect the persistent mapping store into the temp dir too, so
         # "cold" means cold and the repo's real store is untouched.
@@ -74,23 +138,43 @@ def run_bench(ids, fast: bool = True, jobs: int = 4) -> dict:
             warm, warm_s = _timed(
                 "warm cache", ids=ids, fast=fast, jobs=1, cache=cache
             )
+            dispatch = measure_dispatch_latency()
         finally:
             if previous_env is None:
                 os.environ.pop(CACHE_DIR_ENV, None)
             else:
                 os.environ[CACHE_DIR_ENV] = previous_env
+            # The probe's forced workers hold the temp cache dir open.
+            shutdown_shared_executor()
     rows_identical = parallel == serial and warm == serial
+    cores = effective_cpu_count()
+    speedup = round(serial_s / parallel_s, 2)
+    gate_threshold = round(min(cores, max(units, 1)) / 2, 2)
+    fastpath_overhead_pct = round((parallel_s / serial_s - 1.0) * 100, 1)
     report = {
         "experiments": ids,
         "mode": "fast" if fast else "full",
         "jobs": jobs,
+        "units": units,
         "cpu_count": os.cpu_count(),
+        "effective_cores": cores,
         "parallel_cold_seconds": round(parallel_s, 3),
         "serial_cold_seconds": round(serial_s, 3),
-        "warm_cache_seconds": round(warm_s, 3),
-        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "warm_cache_seconds": round(warm_s, 6),
+        "parallel_speedup": speedup,
         "cache_speedup": round(serial_s / warm_s, 2),
         "rows_identical": rows_identical,
+        "parallel_gate": {
+            "threshold": gate_threshold,
+            "passed": speedup >= gate_threshold,
+        },
+        "fastpath_gate": {
+            # Only binding when the serial fast path is what ran the
+            # "parallel" phase (one effective core).
+            "overhead_pct": fastpath_overhead_pct,
+            "passed": cores > 1 or fastpath_overhead_pct <= 5.0,
+        },
+        "warm_pool_dispatch": dispatch,
     }
     return report
 
@@ -107,14 +191,22 @@ def main() -> int:
     ids = args.ids or list(EXPERIMENT_IDS)
     report = run_bench(ids, fast=not args.full, jobs=args.jobs)
     print(
-        f"parallel speedup {report['parallel_speedup']}x "
-        f"(on {report['cpu_count']} cpu(s)), "
+        f"parallel speedup {report['parallel_speedup']}x on "
+        f"{report['effective_cores']} effective core(s) "
+        f"(gate >= {report['parallel_gate']['threshold']}: "
+        f"{'pass' if report['parallel_gate']['passed'] else 'FAIL'}), "
         f"cache speedup {report['cache_speedup']}x, "
+        f"dispatch p50 {report['warm_pool_dispatch']['dispatch_p50_ms']}ms, "
         f"rows identical: {report['rows_identical']}"
     )
     ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n")
     print(f"wrote {ARTIFACT_PATH}")
-    return 0 if report["rows_identical"] else 1
+    ok = (
+        report["rows_identical"]
+        and report["parallel_gate"]["passed"]
+        and report["fastpath_gate"]["passed"]
+    )
+    return 0 if ok else 1
 
 
 def test_runner_parallel_smoke(tmp_path, monkeypatch):
@@ -123,6 +215,7 @@ def test_runner_parallel_smoke(tmp_path, monkeypatch):
     report = run_bench(["fig01", "tab06"], fast=True, jobs=2)
     assert report["rows_identical"]
     assert report["warm_cache_seconds"] > 0
+    assert report["warm_pool_dispatch"]["dispatch_p50_ms"] is not None
 
 
 if __name__ == "__main__":

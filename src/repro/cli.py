@@ -10,6 +10,9 @@ Commands:
 * ``usecases``    — print the deployment comparison tables.
 * ``serve``       — answer design/sweep/simulate queries over HTTP
                     (coalescing + response cache; see docs/serve.md).
+* ``shard``       — run experiments through the queue-backed shard
+                    coordinator + runner processes (see
+                    docs/parallel.md, "Shard runner").
 """
 
 from __future__ import annotations
@@ -57,7 +60,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     forwarded = list(args.ids)
     if args.full:
         forwarded.append("--full")
-    if args.jobs != 1:
+    if args.jobs != "auto":
         forwarded.append(f"--jobs={args.jobs}")
     if args.no_cache:
         forwarded.append("--no-cache")
@@ -153,6 +156,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve_main(forwarded)
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro import shard
+
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print("error: --connect needs HOST:PORT", file=sys.stderr)
+            return 2
+        if not args.authkey:
+            print("error: --connect requires --authkey", file=sys.stderr)
+            return 2
+        executed = shard.run_runner(
+            (host, int(port)), bytes.fromhex(args.authkey)
+        )
+        print(f"[runner executed {executed} unit(s)]")
+        return 0
+
+    stats: dict = {}
+    results = shard.coordinate(
+        args.ids,
+        fast=not args.full,
+        local_runners=args.runners,
+        result_timeout=args.timeout,
+        stats_out=stats,
+    )
+    for result in results:
+        print(result.format_table())
+        print()
+    print(
+        f"[{stats['units']} unit(s): {stats['sharded']} sharded over "
+        f"{args.runners} runner(s), {stats['local']} completed locally]"
+    )
+    return 0
+
+
 def _cmd_usecases(args: argparse.Namespace) -> int:
     del args
     from repro.experiments.runner import run_experiments
@@ -188,9 +226,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--full", action="store_true")
     experiments.add_argument(
         "--jobs",
-        type=int,
-        default=1,
-        help="processes to fan independent work units across (default 1)",
+        default="auto",
+        help="warm-pool workers to fan work units across; an integer, "
+        "or 'auto' (default) for the effective core count",
     )
     experiments.add_argument(
         "--no-cache",
@@ -261,6 +299,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the serve response cache (coalescing still applies)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    shard = sub.add_parser(
+        "shard", help="queue-backed shard coordinator / runner"
+    )
+    shard.add_argument("ids", nargs="*", help="experiment ids to coordinate")
+    shard.add_argument("--full", action="store_true")
+    shard.add_argument(
+        "--runners",
+        type=int,
+        default=2,
+        help="host-local runner processes to spawn (default 2)",
+    )
+    shard.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait between result arrivals before finishing "
+        "stragglers locally (default 300)",
+    )
+    shard.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a runner against an existing coordinator instead",
+    )
+    shard.add_argument(
+        "--authkey",
+        default=None,
+        metavar="HEX",
+        help="shared authkey (hex) for --connect",
+    )
+    shard.set_defaults(func=_cmd_shard)
 
     usecases = sub.add_parser("usecases", help="deployment tables")
     usecases.set_defaults(func=_cmd_usecases)

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments.runner fig07            # one experiment
     python -m repro.experiments.runner --full           # full-scale runs
     python -m repro.experiments.runner --jobs 4         # parallel units
+    python -m repro.experiments.runner --jobs auto      # effective cores
     python -m repro.experiments.runner --no-cache       # always recompute
     python -m repro.experiments.runner --cache-clear    # wipe the cache
     python -m repro.experiments.runner --profile        # per-unit timings
@@ -16,8 +17,11 @@ Results are cached under ``.repro_cache/`` keyed by experiment id, run
 mode, and a source hash of every module the experiment imports, so an
 unchanged experiment returns instantly; editing any of its modules
 recomputes it (see :mod:`repro.experiments.cache`). ``--jobs N`` fans
-the experiments' independent work units across N processes (see
-:mod:`repro.experiments.scheduler`).
+the experiments' independent work units across N warm pool workers;
+the default (``--jobs auto``) detects the *effective* core count —
+CPU affinity and cgroup quotas respected — and small runs degrade to
+plain serial execution automatically (see
+:mod:`repro.experiments.scheduler` and :mod:`repro.parallel`).
 
 ``--telemetry`` makes the simulation figures (fig21-fig24) write one
 structured-JSON telemetry report per simulated point under ``DIR``
@@ -46,14 +50,15 @@ from repro.experiments.scheduler import execute
 def run_experiments(
     ids: Optional[Sequence[str]] = None,
     fast: bool = True,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     unit_timeout: Optional[float] = None,
     profile_out: Optional[List[dict]] = None,
 ) -> List[ExperimentResult]:
     """Run the given experiments (all when ids is None).
 
-    ``jobs`` > 1 schedules independent work units across processes;
+    ``jobs`` > 1 schedules independent work units across the warm
+    worker pool (``None`` auto-detects the effective core count);
     passing a :class:`~repro.experiments.cache.ResultCache` serves
     up-to-date cached results and stores fresh ones. Output is
     identical for every (jobs, cache) combination. ``profile_out``
@@ -106,8 +111,14 @@ def format_profile(rows: Sequence[dict]) -> str:
     One line per work unit plus a per-experiment total; the trailing
     summary is the quickest read on whether the mapping store is doing
     its job (hits) or being missed (optimized from scratch).
+    ``dispatch`` is the pool's per-unit dispatch overhead — the time
+    the unit's task and result spent crossing process boundaries
+    (0.00 for units the serial fast path ran in-process).
     """
-    headers = ("experiment", "unit", "seconds", "memo", "store", "optimized", "opt_s")
+    headers = (
+        "experiment", "unit", "seconds", "dispatch",
+        "memo", "store", "optimized", "opt_s",
+    )
     table: List[Tuple[str, ...]] = []
 
     def fmt(row: dict, label_id: str, label_unit: str) -> Tuple[str, ...]:
@@ -115,6 +126,7 @@ def format_profile(rows: Sequence[dict]) -> str:
             label_id,
             label_unit,
             f"{row.get('seconds', 0.0):.2f}",
+            f"{row.get('dispatch_s', 0.0):.3f}",
             f"{int(row.get('memo_hits', 0))}",
             f"{int(row.get('store_hits', 0))}",
             f"{int(row.get('optimized', 0))}",
@@ -124,8 +136,8 @@ def format_profile(rows: Sequence[dict]) -> str:
     by_experiment: dict = {}
     for row in rows:
         by_experiment.setdefault(row["experiment_id"], []).append(row)
-    totals = {"seconds": 0.0, "memo_hits": 0, "store_hits": 0, "optimized": 0,
-              "optimize_seconds": 0.0}
+    totals = {"seconds": 0.0, "dispatch_s": 0.0, "memo_hits": 0,
+              "store_hits": 0, "optimized": 0, "optimize_seconds": 0.0}
     for experiment_id, unit_rows in by_experiment.items():
         subtotal = dict.fromkeys(totals, 0.0)
         for row in unit_rows:
@@ -158,7 +170,7 @@ def _usage_error(message: str) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     fast = True
-    jobs = 1
+    jobs: Optional[int] = None  # auto-detect effective cores
     use_cache = True
     cache_clear = False
     profile = False
@@ -181,9 +193,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             profile = True
         elif arg == "--jobs" or arg.startswith("--jobs="):
             value = arg.split("=", 1)[1] if "=" in arg else next(iterator, None)
-            if value is None or not value.lstrip("-").isdigit():
-                return _usage_error("--jobs needs an integer argument")
-            jobs = int(value)
+            if value == "auto":
+                jobs = None
+            elif value is None or not value.lstrip("-").isdigit():
+                return _usage_error("--jobs needs an integer or 'auto'")
+            else:
+                jobs = int(value)
         elif arg == "--timeout" or arg.startswith("--timeout="):
             value = arg.split("=", 1)[1] if "=" in arg else next(iterator, None)
             try:
@@ -237,7 +252,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
     if telemetry_out is not None:
         print(f"[telemetry artifacts under {telemetry_out}/]")
-    print(f"[{time.time() - start:.1f}s total, fast={fast}, jobs={jobs}]")
+    if jobs is None:
+        from repro.parallel import effective_cpu_count
+
+        jobs_label = f"auto({effective_cpu_count()})"
+    else:
+        jobs_label = str(jobs)
+    print(f"[{time.time() - start:.1f}s total, fast={fast}, jobs={jobs_label}]")
     return 0
 
 

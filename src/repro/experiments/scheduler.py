@@ -1,12 +1,20 @@
-"""Process-pool scheduler fanning experiment work units across cores.
+"""Warm-pool scheduler fanning experiment work units across cores.
 
 :func:`execute` takes :class:`~repro.experiments.base.ExperimentSpec`
 handles, expands each into its independent work units, and runs every
-unit of every selected experiment through one shared process pool. The
-pool mechanics — retry-once on worker failure, serial fallback for
-twice-failed or stranded units, stall watchdog — live in
-:func:`repro.parallel.pool_map`, shared with the mapping optimizer's
-parallel restarts.
+unit of every selected experiment through the shared warm worker pool.
+The pool mechanics — persistent preloaded workers, retry-once on
+worker failure, serial fallback for twice-failed or stranded units,
+stall watchdog, degraded-to-serial fast path on small machines — live
+in :func:`repro.parallel.pool_map`, shared with the mapping
+optimizer's parallel restarts and the serve dispatcher.
+
+Dispatch is **cost-aware**: units are submitted most-expensive-first
+using per-unit wall times recorded by previous runs (persisted via
+:class:`~repro.experiments.unit_costs.CostBook` under the cache root;
+never-measured units get a coarse simulation-vs-analytical prior), so
+a big netsim unit never starts last and strands the pool behind it.
+Every run records the times it observed back into the book.
 
 Workers receive only ``(module name, experiment id, unit index)``, so
 nothing un-picklable ever crosses the process boundary; each worker
@@ -17,7 +25,9 @@ mutable state (all simulator/mapping RNG is locally seeded).
 Every unit also reports a small stats dict — wall time plus the
 mapping-store activity it caused (:mod:`repro.mapping.store` counters
 diffed around the unit) — which :func:`execute` collects into
-``profile_out`` rows for the runner's ``--profile`` table.
+``profile_out`` rows for the runner's ``--profile`` table, alongside
+the pool's measured per-unit dispatch overhead (``dispatch_s``: time a
+result spent crossing process boundaries, zero for serial execution).
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.base import ExperimentResult, ExperimentSpec
+from repro.experiments.unit_costs import CostBook
 from repro.parallel import pool_map
 
 
@@ -48,22 +59,27 @@ def _execute_unit(
 def execute(
     specs: Sequence[ExperimentSpec],
     fast: bool = True,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     unit_timeout: Optional[float] = None,
     profile_out: Optional[List[Dict[str, Any]]] = None,
 ) -> List[ExperimentResult]:
     """Run the experiments, fanning work units over ``jobs`` processes.
 
-    ``jobs <= 1`` runs everything serially in-process (no pool at all).
-    ``unit_timeout`` is a stall watchdog: if no unit completes for that
-    many seconds, outstanding units are abandoned to serial fallback.
-    ``profile_out``, if given, receives one row per unit:
-    ``{"experiment_id", "unit", "seconds", <mapping-store counters>}``.
+    ``jobs <= 1`` runs everything serially in-process (no pool at all);
+    ``jobs=None`` auto-detects the effective core count. Either way
+    :func:`repro.parallel.effective_jobs` may degrade the request to
+    the serial fast path when cores or units are too few to pay for
+    dispatch. ``unit_timeout`` is a stall watchdog: if no unit
+    completes for that many seconds, outstanding units are abandoned to
+    serial fallback. ``profile_out``, if given, receives one row per
+    unit: ``{"experiment_id", "unit", "seconds", "dispatch_s",
+    <mapping-store counters>}``.
     """
     specs = list(specs)
     if not specs:
         return []
     unit_lists = [spec.units(fast=fast) for spec in specs]
+    book = CostBook()
     tasks = []
     labels = []
     owners = []
@@ -73,8 +89,15 @@ def execute(
             labels.append(f"{spec.experiment_id}[{unit_index}]")
             owners.append((spec.experiment_id, unit_index))
 
+    dispatch_stats: List[Optional[Dict[str, Any]]] = []
     outcomes = pool_map(
-        _execute_unit, tasks, jobs=jobs, timeout=unit_timeout, labels=labels
+        _execute_unit,
+        tasks,
+        jobs=jobs,
+        timeout=unit_timeout,
+        labels=labels,
+        costs=[book.get(label) for label in labels],
+        dispatch_stats=dispatch_stats,
     )
 
     unit_results: List[List[Any]] = [[None] * len(units) for units in unit_lists]
@@ -83,11 +106,21 @@ def execute(
         for unit_index in range(len(units)):
             result, stats = outcomes[cursor]
             unit_results[spec_index][unit_index] = result
+            book.record(labels[cursor], stats.get("seconds", 0.0))
             if profile_out is not None:
                 row = {"experiment_id": owners[cursor][0], "unit": unit_index}
                 row.update(stats)
+                pool_stats = (
+                    dispatch_stats[cursor]
+                    if cursor < len(dispatch_stats)
+                    else None
+                )
+                row["dispatch_s"] = (
+                    pool_stats.get("dispatch_s", 0.0) if pool_stats else 0.0
+                )
                 profile_out.append(row)
             cursor += 1
+    book.save()
 
     return [
         spec.merge(row, fast=fast)

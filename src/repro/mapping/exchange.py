@@ -20,8 +20,10 @@ Two interchangeable kernels implement the sweep:
 :func:`optimize_mapping` dispatches to the fast kernel unless
 ``REPRO_SCALAR_MAPPING=1`` is set in the environment (the escape hatch
 for auditing the vectorized path against the oracle), and can fan its
-independent seeded restarts across a process pool (``jobs > 1``) with
-deterministic best-of selection.
+independent seeded restarts across the shared warm worker pool
+(``jobs > 1``; :mod:`repro.parallel`) with deterministic best-of
+selection — the same pool lifecycle the experiment scheduler and the
+serve dispatcher use, so restart fan-out reuses already-warm workers.
 """
 
 from __future__ import annotations
@@ -314,10 +316,12 @@ def optimize_mapping(
     random starts escape the heuristic's local optima on mid-size Clos
     instances while the heuristic wins on boundary-constrained ones.
 
-    ``jobs > 1`` fans the independent restarts over a process pool;
-    selection is deterministic either way — lowest cost wins, ties
-    broken by restart index — so serial and parallel runs return the
-    same mapping. ``escalate`` enables the fast kernel's plateau pass
+    ``jobs > 1`` fans the independent restarts over the shared warm
+    worker pool (which may degrade the request to serial on small
+    machines; see :func:`repro.parallel.effective_jobs`); selection is
+    deterministic either way — lowest cost wins, ties broken by
+    restart index — so serial and parallel runs return the same
+    mapping. ``escalate`` enables the fast kernel's plateau pass
     (ignored on the scalar path). ``engine`` picks the kernel
     explicitly (``"auto"``, ``"fast"`` or ``"scalar"``, see
     :mod:`repro.engines`); the resolved choice rides into pool workers

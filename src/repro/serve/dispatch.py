@@ -15,8 +15,12 @@ three-level ladder:
    delivers the same structured error to every waiter **without**
    poisoning the cache (errors are never cached);
 3. **Pool dispatch** — genuinely cold work runs
-   :func:`repro.api.execute_payload` on the shared process pool from
-   :mod:`repro.parallel` (or any injected executor).
+   :func:`repro.api.execute_payload` on the shared warm worker pool
+   from :mod:`repro.parallel` (or any injected executor). The pool is
+   the same one the experiment scheduler and the mapping optimizer
+   use: its workers are persistent and preloaded, so a cold query
+   pays sub-millisecond dispatch, not a process spawn plus imports
+   (see docs/parallel.md).
 
 ``simulate`` queries with ``telemetry: true`` can instead be streamed:
 :meth:`Dispatcher.stream` runs them on a thread (telemetry callbacks
@@ -100,8 +104,8 @@ class Dispatcher:
 
     Args:
         executor: Anything with ``submit(fn) -> concurrent.futures.
-            Future``; defaults (lazily) to the shared process pool of
-            :mod:`repro.parallel`. Tests inject a fake to count and
+            Future``; defaults (lazily) to the shared warm worker pool
+            of :mod:`repro.parallel`. Tests inject a fake to count and
             control submissions.
         cache: A :class:`ResponseCache`, or ``None`` to disable warm
             responses (every request then coalesces or recomputes).

@@ -1,0 +1,246 @@
+"""Queue-backed shard runner: one coordinator, N host-local runners.
+
+This is the bridge from the single-host warm pool
+(:mod:`repro.parallel`) to multi-host sharding. The coordinator serves
+two queues over TCP (``multiprocessing.managers.BaseManager`` with an
+authkey); runners — today sibling processes on the same host, tomorrow
+processes on other hosts pointed at ``host:port`` — pull work-unit
+descriptors from the task queue, execute them through the exact same
+work-unit protocol the scheduler uses
+(:func:`repro.experiments.scheduler._execute_unit`), and push
+wire-encoded results back.
+
+The unit of work is deliberately tiny on the wire: a descriptor is
+``(seq, module_name, experiment_id, unit_index, fast)`` — five scalars
+— because every runner re-derives the unit list from the module's
+deterministic ``units()``. Results come back through
+:mod:`repro.wire`. Everything heavy travels through the
+content-addressed caches instead: runners sharing a cache root
+(``REPRO_CACHE_DIR`` on a shared filesystem) share mapping-store
+placements and memoized results, so a unit computed by one runner
+warms every other.
+
+Failure semantics mirror the pool: the coordinator hands out units
+cost-ordered (big netsim units first), waits for results with a
+watchdog, and any unit that never comes back — runner crash, network
+partition, stall — is executed locally by the coordinator itself, so a
+sharded run always completes with exactly the rows a serial run would
+produce. A unit whose runner *reported* an error is retried locally
+too; an error that reproduces locally propagates.
+
+This module is a skeleton by intent: no runner discovery, no
+work-stealing, no result streaming. It exists to pin the protocol —
+queue semantics, descriptor shape, wire encoding, cache-as-substrate —
+that multi-host sharding will grow on.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from multiprocessing.managers import BaseManager
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import wire
+from repro.experiments.base import ExperimentResult, ExperimentSpec, get_spec
+from repro.experiments.scheduler import _execute_unit
+from repro.experiments.unit_costs import CostBook
+
+#: Default TCP endpoint: loopback, ephemeral port.
+DEFAULT_ADDRESS = ("127.0.0.1", 0)
+
+#: Sentinel telling a runner to exit its pull loop.
+STOP = None
+
+# The coordinator-side queues. ``BaseManager.start`` forks a server
+# process, so these module globals (and the lambdas registered below)
+# are inherited by the server; runners only ever see the proxies.
+_TASKS: "queue.Queue[Any]" = queue.Queue()
+_RESULTS: "queue.Queue[bytes]" = queue.Queue()
+
+
+class _CoordinatorManager(BaseManager):
+    """Serves the task/result queues (coordinator side)."""
+
+
+class _RunnerManager(BaseManager):
+    """Connects to a coordinator's queues (runner side)."""
+
+
+_CoordinatorManager.register("tasks", callable=lambda: _TASKS)
+_CoordinatorManager.register("results", callable=lambda: _RESULTS)
+_RunnerManager.register("tasks")
+_RunnerManager.register("results")
+
+
+def run_runner(
+    address: Tuple[str, int],
+    authkey: bytes,
+    max_units: Optional[int] = None,
+) -> int:
+    """Pull-and-execute loop for one runner process.
+
+    Connects to the coordinator at ``address``, executes unit
+    descriptors until it receives :data:`STOP` (or has run
+    ``max_units``), and returns the number of units executed. Safe to
+    run on any host that can import this source tree and reach the
+    coordinator; point ``REPRO_CACHE_DIR`` at a shared filesystem to
+    share the content-addressed caches with the other runners.
+    """
+    manager = _RunnerManager(address=tuple(address), authkey=authkey)
+    manager.connect()
+    tasks = manager.tasks()
+    results = manager.results()
+    executed = 0
+    while max_units is None or executed < max_units:
+        descriptor = tasks.get()
+        if descriptor is STOP:
+            break
+        seq, module_name, experiment_id, unit_index, fast = descriptor
+        started = time.perf_counter()
+        try:
+            result, stats = _execute_unit(
+                module_name, experiment_id, unit_index, fast
+            )
+        except Exception as exc:  # noqa: BLE001 — reported, retried locally
+            results.put(wire.encode(("err", seq, repr(exc))))
+        else:
+            stats["runner_seconds"] = time.perf_counter() - started
+            results.put(wire.encode(("ok", seq, stats, result)))
+        executed += 1
+    return executed
+
+
+def _spawn_local_runners(
+    count: int, address: Tuple[str, int], authkey: bytes
+) -> List[Any]:
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    procs = []
+    for _ in range(count):
+        proc = ctx.Process(
+            target=run_runner, args=(address, authkey), name="repro-shard-runner"
+        )
+        proc.start()
+        procs.append(proc)
+    return procs
+
+
+def coordinate(
+    experiment_ids: Sequence[str],
+    fast: bool = True,
+    address: Tuple[str, int] = DEFAULT_ADDRESS,
+    authkey: Optional[bytes] = None,
+    local_runners: int = 0,
+    result_timeout: float = 300.0,
+    stats_out: Optional[Dict[str, Any]] = None,
+) -> List[ExperimentResult]:
+    """Run experiments by sharding their units over queue-fed runners.
+
+    Serves the task/result queues at ``address`` (``port 0`` =
+    ephemeral), enqueues every unit cost-ordered, optionally spawns
+    ``local_runners`` runner processes on this host, and collects
+    results. Units that error on a runner or fail to arrive within
+    ``result_timeout`` seconds of the last completion are executed
+    locally, so the merged results always match a serial run.
+
+    ``stats_out``, if given, receives ``{"units", "sharded",
+    "local", "runner_pids"?, "address"}`` for callers that want to
+    report shard effectiveness.
+    """
+    import os
+
+    specs = [get_spec(eid) for eid in experiment_ids]
+    unit_lists = [spec.units(fast=fast) for spec in specs]
+    book = CostBook()
+    descriptors = []  # (cost, seq, spec_index, unit_index, descriptor)
+    seq = 0
+    for spec_index, (spec, units) in enumerate(zip(specs, unit_lists)):
+        for unit_index in range(len(units)):
+            label = f"{spec.experiment_id}[{unit_index}]"
+            descriptors.append((
+                book.get(label), seq, spec_index, unit_index,
+                (seq, spec.module_name, spec.experiment_id, unit_index, fast),
+            ))
+            seq += 1
+
+    if authkey is None:
+        authkey = os.urandom(16)
+    # The queues are module globals inherited by the forked manager
+    # server; drain any residue from a previous coordinate() in this
+    # process before the fork snapshots them.
+    for leftover in (_TASKS, _RESULTS):
+        while True:
+            try:
+                leftover.get_nowait()
+            except queue.Empty:
+                break
+    manager = _CoordinatorManager(address=tuple(address), authkey=authkey)
+    manager.start()
+    owners = {}  # seq -> (spec_index, unit_index)
+    outcomes: Dict[int, Any] = {}
+    local = 0
+    try:
+        bound_address = manager.address
+        tasks = manager.tasks()
+        results = manager.results()
+        for cost, seq_id, spec_index, unit_index, descriptor in sorted(
+            descriptors, key=lambda entry: -entry[0]
+        ):
+            owners[seq_id] = (spec_index, unit_index)
+            tasks.put(descriptor)
+
+        procs = _spawn_local_runners(local_runners, bound_address, authkey)
+        try:
+            pending = set(owners)
+            while pending:
+                try:
+                    payload = results.get(timeout=result_timeout)
+                except queue.Empty:
+                    break  # watchdog: finish the stragglers locally
+                message = wire.decode(payload)
+                if message[0] == "ok":
+                    _, seq_id, stats, result = message
+                    outcomes[seq_id] = result
+                    pending.discard(seq_id)
+                else:
+                    _, seq_id, _error = message
+                    pending.discard(seq_id)  # retried locally below
+        finally:
+            for _ in range(max(len(procs), 1)):
+                tasks.put(STOP)
+            for proc in procs:
+                proc.join(timeout=10.0)
+                if proc.is_alive():
+                    proc.terminate()
+    finally:
+        manager.shutdown()
+
+    # Local completion: whatever the runners did not deliver.
+    for _, seq_id, spec_index, unit_index, descriptor in descriptors:
+        if seq_id not in outcomes:
+            _, module_name, experiment_id, unit_index, fast_flag = descriptor
+            result, _stats = _execute_unit(
+                module_name, experiment_id, unit_index, fast_flag
+            )
+            outcomes[seq_id] = result
+            local += 1
+
+    if stats_out is not None:
+        stats_out.update({
+            "units": len(descriptors),
+            "sharded": len(descriptors) - local,
+            "local": local,
+            "address": list(bound_address),
+        })
+
+    unit_results: List[List[Any]] = [
+        [None] * len(units) for units in unit_lists
+    ]
+    for _, seq_id, spec_index, unit_index, _descriptor in descriptors:
+        unit_results[spec_index][unit_index] = outcomes[seq_id]
+    return [
+        spec.merge(rows, fast=fast)
+        for spec, rows in zip(specs, unit_results)
+    ]

@@ -1,0 +1,19 @@
+"""Module-level task functions for the cost-ordering pool test.
+
+``record_order`` uses a module-global counter: inside a single worker
+process it numbers the tasks in the order the worker executed them,
+which is exactly what the cost-aware-dispatch test needs to observe.
+"""
+
+import itertools
+import time
+
+_COUNTER = itertools.count()
+
+
+def record_order(task_id):
+    return (task_id, next(_COUNTER))
+
+
+def block(seconds):
+    time.sleep(seconds)

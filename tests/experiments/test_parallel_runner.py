@@ -1,4 +1,11 @@
-"""Parallel scheduler: serial equality, failure fallback, CLI errors."""
+"""Parallel scheduler: serial equality, failure fallback, CLI errors.
+
+The CI box (and most laptops) may report a single effective core, on
+which :func:`repro.parallel.effective_jobs` would degrade every
+parallel request to the serial fast path — correct in production,
+useless for testing the pool. Tests that need real worker processes
+set ``REPRO_PARALLEL=force`` via the ``force_pool`` fixture.
+"""
 
 import os
 import time
@@ -14,7 +21,13 @@ from repro.experiments.scheduler import execute
 SAMPLE_IDS = ["fig27", "fig28", "fig01", "tab06"]
 
 
-def test_parallel_results_equal_serial():
+@pytest.fixture
+def force_pool(monkeypatch):
+    """Make pool_map use real workers regardless of the core count."""
+    monkeypatch.setenv("REPRO_PARALLEL", "force")
+
+
+def test_parallel_results_equal_serial(force_pool):
     serial = run_experiments(SAMPLE_IDS, fast=True)
     parallel = run_experiments(SAMPLE_IDS, fast=True, jobs=3)
     assert [r.experiment_id for r in parallel] == SAMPLE_IDS
@@ -23,7 +36,7 @@ def test_parallel_results_equal_serial():
 
 
 @pytest.mark.slow
-def test_parallel_results_equal_serial_simulation():
+def test_parallel_results_equal_serial_simulation(force_pool):
     serial = run_experiments(["fig21"], fast=True)
     parallel = run_experiments(["fig21"], fast=True, jobs=2)
     assert serial == parallel
@@ -59,12 +72,12 @@ def _report_engine_env():
     }, os.getpid()
 
 
-def test_engine_switches_propagate_to_workers():
+def test_engine_switches_propagate_to_workers(force_pool):
     """REPRO_SCALAR_NETSIM / REPRO_NETSIM_NO_CC reach pool workers.
 
-    Without the pool initializer a forkserver started before the flag
-    was set would run workers on the wrong engine — a forced-scalar
-    experiment would silently come back vectorized.
+    The switches travel per *task*, not per worker spawn: a persistent
+    warm worker configured before the flag was set must still see it,
+    or a forced-scalar experiment would silently come back vectorized.
     """
     from repro.parallel import pool_map
 
@@ -86,7 +99,7 @@ def test_engine_switches_propagate_to_workers():
         assert env["REPRO_NETSIM_NO_CC"] is None
 
 
-def test_worker_crash_falls_back_to_serial(capfd):
+def test_worker_crash_falls_back_to_serial(force_pool, capfd):
     """Units that die in every worker still complete in the parent."""
     spec = ExperimentSpec(
         experiment_id="crashy", module_name="tests.experiments._crashy_exp"
@@ -98,7 +111,7 @@ def test_worker_crash_falls_back_to_serial(capfd):
     assert "falling back to serial" in err
 
 
-def test_stalled_pool_degrades_to_serial(capfd):
+def test_stalled_pool_degrades_to_serial(force_pool, capfd):
     """If no unit completes within the watchdog, the parent takes over."""
     spec = ExperimentSpec(
         experiment_id="sleepy", module_name="tests.experiments._sleepy_exp"
@@ -110,7 +123,7 @@ def test_stalled_pool_degrades_to_serial(capfd):
     assert "abandoning" in capfd.readouterr().err
 
 
-def test_error_propagates_when_serial_also_fails():
+def test_error_propagates_when_serial_also_fails(force_pool):
     spec = ExperimentSpec(
         experiment_id="broken", module_name="tests.experiments._broken_exp"
     )

@@ -1,0 +1,243 @@
+"""Warm worker pool: fast path, warm reuse, crashes, wire, cores.
+
+Complements ``tests/experiments/test_parallel_runner.py`` (which
+exercises the pool through the experiment scheduler) with direct tests
+of :mod:`repro.parallel`'s own contracts: the degraded-to-serial fast
+path, persistent-worker reuse and preload warmth, crash → retry-once →
+quarantine accounting, the executor-style ``submit`` facade, effective
+core detection under affinity/cgroup limits, and the
+:mod:`repro.wire` encoding both sides of the pipe speak.
+"""
+
+import os
+
+import pytest
+
+from repro import parallel, wire
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture
+def force_pool(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "force")
+
+
+# Module-level task functions so the pool can pickle them into workers.
+
+
+def _pid(_=None):
+    return os.getpid()
+
+
+def _env_value(name):
+    return os.environ.get(name)
+
+
+def _square(x):
+    return x * x
+
+
+def _crash_in_worker(x):
+    import multiprocessing
+
+    if multiprocessing.current_process().name != "MainProcess":
+        raise ValueError(f"unit {x} poisoned")
+    return x
+
+
+def _module_count(_=None):
+    import sys
+
+    return len(sys.modules)
+
+
+# ----------------------------------------------------------------------
+# wire encoding
+# ----------------------------------------------------------------------
+
+
+def test_wire_round_trips_scalars_and_containers():
+    for obj in (
+        None, True, False, 0, -1, 2**62, 2**80, -(2**80), 3.5,
+        float("inf"), "text", "ünïcode", b"\x00\xff", [], (), {},
+        [1, [2, (3, {"k": b"v"})]], {"a": 1, 2: "b", None: [True]},
+        ("mixed", 1, 2.0, None, b"x"),
+    ):
+        assert wire.decode(wire.encode(obj)) == obj
+
+
+def test_wire_round_trips_numpy_arrays():
+    np = pytest.importorskip("numpy")
+    for array in (
+        np.arange(12, dtype=np.int64).reshape(3, 4),
+        np.linspace(0.0, 1.0, 7),
+        np.zeros((0, 3), dtype=np.float32),
+        np.array([[True, False]]),
+    ):
+        back = wire.decode(wire.encode(array))
+        assert back.dtype == array.dtype
+        assert back.shape == array.shape
+        assert (back == array).all()
+
+
+def test_wire_pickle_fallback_for_arbitrary_objects():
+    payload = {"path": __import__("pathlib").Path("/tmp/x"), "n": 3}
+    assert wire.decode(wire.encode(payload)) == payload
+
+
+def test_wire_rejects_trailing_garbage():
+    with pytest.raises(ValueError, match="trailing"):
+        wire.decode(wire.encode(1) + b"junk")
+
+
+# ----------------------------------------------------------------------
+# effective cores / serial fast path
+# ----------------------------------------------------------------------
+
+
+def test_effective_cpu_count_respects_cgroup_quota(tmp_path, monkeypatch):
+    (tmp_path / "cpu.max").write_text("200000 100000\n")
+    monkeypatch.setattr(parallel, "_CGROUP_ROOT", str(tmp_path))
+    assert parallel._cgroup_cpu_limit() == 2
+    assert parallel.effective_cpu_count() <= max(
+        1, min(2, len(os.sched_getaffinity(0)))
+    )
+
+
+def test_effective_cpu_count_cgroup_v1_and_unlimited(tmp_path, monkeypatch):
+    monkeypatch.setattr(parallel, "_CGROUP_ROOT", str(tmp_path))
+    assert parallel._cgroup_cpu_limit() is None  # no cgroup files at all
+    (tmp_path / "cpu.max").write_text("max 100000\n")
+    assert parallel._cgroup_cpu_limit() is None  # v2 unlimited
+    v1 = tmp_path / "cpu"
+    v1.mkdir()
+    (v1 / "cpu.cfs_quota_us").write_text("350000")
+    (v1 / "cpu.cfs_period_us").write_text("100000")
+    assert parallel._cgroup_cpu_limit() == 4  # ceil(3.5)
+
+
+def test_effective_jobs_degrades_small_runs(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    assert parallel.effective_jobs(8, 1) == 1  # one task
+    assert parallel.effective_jobs(1, 100) == 1  # one job
+    assert parallel.effective_jobs(0, 100) == 1
+    # auto never exceeds task count or the effective core count
+    many = parallel.effective_jobs(64, 3)
+    assert many <= 3
+    assert many <= parallel.effective_cpu_count()
+    monkeypatch.setenv("REPRO_PARALLEL", "serial")
+    assert parallel.effective_jobs(8, 100) == 1
+    monkeypatch.setenv("REPRO_PARALLEL", "force")
+    assert parallel.effective_jobs(8, 100) == 8
+
+
+def test_serial_fast_path_never_leaves_the_parent(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "serial")
+    stats = []
+    results = parallel.pool_map(
+        _pid, [()] * 4, jobs=8, dispatch_stats=stats
+    )
+    assert set(results) == {os.getpid()}
+    assert all(row == {"mode": "serial", "dispatch_s": 0.0} for row in stats)
+
+
+# ----------------------------------------------------------------------
+# warm pool behavior (real worker processes)
+# ----------------------------------------------------------------------
+
+
+def test_warm_workers_are_reused_across_calls(force_pool):
+    first = parallel.pool_map(_pid, [()] * 4, jobs=2)
+    second = parallel.pool_map(_pid, [()] * 4, jobs=2)
+    workers = set(first) | set(second)
+    assert os.getpid() not in workers
+    assert set(second) & set(first), "second call should reuse warm workers"
+
+
+def test_second_task_on_a_worker_imports_nothing(force_pool):
+    # Two rounds on the same worker: the preloaded module set must be
+    # complete enough that running another task imports zero modules.
+    parallel.pool_map(_module_count, [()], jobs=1)
+    stats = []
+    parallel.pool_map(_module_count, [()], jobs=1, dispatch_stats=stats)
+    assert stats[0]["new_modules"] == 0
+
+
+def test_env_propagates_per_task_not_per_spawn(force_pool, monkeypatch):
+    # Warm the pool first, then change the env: persistent workers must
+    # see the *current* value, not the spawn-time snapshot.
+    parallel.pool_map(_pid, [()], jobs=1)
+    monkeypatch.setenv("REPRO_SCALAR_MAPPING", "1")
+    (value,) = parallel.pool_map(
+        _env_value, [("REPRO_SCALAR_MAPPING",)], jobs=1
+    )
+    assert value == "1"
+    monkeypatch.delenv("REPRO_SCALAR_MAPPING")
+    (value,) = parallel.pool_map(
+        _env_value, [("REPRO_SCALAR_MAPPING",)], jobs=1
+    )
+    assert value is None
+
+
+def test_quarantine_report_structure(force_pool, capfd):
+    quarantine = []
+    results = parallel.pool_map(
+        _crash_in_worker,
+        [(7,)],
+        jobs=1,
+        labels=["poisoned[7]"],
+        quarantine=quarantine,
+    )
+    assert results == [7]  # serial fallback in the parent succeeded
+    (report,) = quarantine
+    assert report["label"] == "poisoned[7]"
+    assert report["attempts"] == parallel.MAX_POOL_ATTEMPTS
+    assert report["quarantined"] is True
+    assert "poisoned" in report["error"]
+    assert len(report["worker_pids"]) == parallel.MAX_POOL_ATTEMPTS
+    err = capfd.readouterr().err
+    assert "retrying" in err
+    assert "falling back to serial" in err
+
+
+def test_cost_order_dispatches_expensive_first(force_pool):
+    # A dedicated single-worker pool; the worker is held busy by a
+    # blocker so all three cost-tagged tasks are queued together, then
+    # must drain most-expensive-first.
+    import tests._pool_order_helper as helper
+
+    pool = parallel.WorkerPool()
+    try:
+        pool.ensure_workers(1)
+        blocker = pool.submit_task(helper.block, (1.0,))
+        futures = {
+            task_id: pool.submit_task(
+                helper.record_order, (task_id,), cost=cost
+            )
+            for task_id, cost in ((0, 1.0), (1, 5.0), (2, 3.0))
+        }
+        blocker.result(timeout=60)
+        by_task = {}
+        for task_id, future in futures.items():
+            returned_id, position = future.result(timeout=60)[0]
+            assert returned_id == task_id
+            by_task[task_id] = position
+        assert by_task[1] < by_task[2] < by_task[0]
+    finally:
+        pool.shutdown()
+
+
+def test_executor_submit_facade(force_pool):
+    pool = parallel.shared_executor(2)
+    future = pool.submit(_square, 9)
+    assert future.result(timeout=60) == 81
+
+
+def test_submit_sets_original_exception_type(force_pool):
+    pool = parallel.shared_executor(1)
+    future = pool.submit(_crash_in_worker, 1)
+    with pytest.raises(ValueError, match="poisoned"):
+        future.result(timeout=60)
+    report = getattr(future.exception(), "worker_report", None)
+    assert report is not None and report["quarantined"] is True

@@ -1,0 +1,75 @@
+"""Shard runner: coordinator + two local runner processes, one host.
+
+The satellite acceptance test for :mod:`repro.shard`: a small sweep
+coordinated over the queue protocol with two runner processes must
+produce results bit-identical to a plain serial run, and the
+coordinator must finish the work itself when no runners show up.
+"""
+
+import pytest
+
+from repro import shard
+from repro.experiments.runner import run_experiments
+
+SAMPLE_IDS = ["fig01", "tab06"]
+
+
+def test_shard_round_trip_two_runners():
+    stats = {}
+    sharded = shard.coordinate(
+        SAMPLE_IDS,
+        fast=True,
+        local_runners=2,
+        result_timeout=120.0,
+        stats_out=stats,
+    )
+    serial = run_experiments(SAMPLE_IDS, fast=True)
+    assert [r.experiment_id for r in sharded] == SAMPLE_IDS
+    for got, want in zip(sharded, serial):
+        assert got == want, got.experiment_id
+    assert stats["units"] == stats["sharded"] + stats["local"]
+    assert stats["sharded"] > 0, "runners should have executed units"
+
+
+def test_coordinator_completes_without_runners():
+    # Zero runners + a tiny watchdog: every unit times out on the queue
+    # and is executed locally, so the run still completes correctly.
+    stats = {}
+    (result,) = shard.coordinate(
+        ["fig01"],
+        fast=True,
+        local_runners=0,
+        result_timeout=0.2,
+        stats_out=stats,
+    )
+    (serial,) = run_experiments(["fig01"], fast=True)
+    assert result == serial
+    assert stats["local"] == stats["units"]
+
+
+def test_runner_reported_error_is_retried_locally(monkeypatch):
+    # A unit that fails on every runner (crashy raises outside the
+    # main process) must be retried by the coordinator and succeed.
+    stats = {}
+    from repro.experiments import base
+
+    real_get_spec = base.get_spec
+
+    def fake_get_spec(experiment_id):
+        if experiment_id == "crashy":
+            return base.ExperimentSpec(
+                experiment_id="crashy",
+                module_name="tests.experiments._crashy_exp",
+            )
+        return real_get_spec(experiment_id)
+
+    monkeypatch.setattr(shard, "get_spec", fake_get_spec)
+    (result,) = shard.coordinate(
+        ["crashy"],
+        fast=True,
+        local_runners=1,
+        result_timeout=120.0,
+        stats_out=stats,
+    )
+    assert result.rows == [(0, 0), (1, 1), (2, 4)]
+    assert stats["local"] == stats["units"] == 3
