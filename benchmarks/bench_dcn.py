@@ -1,0 +1,184 @@
+"""Partitioned-DCN benchmark: N wafer partitions over the warm pool.
+
+Runs one multi-wafer DCN configuration (see :mod:`repro.dcn`) twice on
+identical inputs:
+
+1. **serial** — every wafer partition stepped in-process, one after
+   the other per epoch (the monolithic single-process reference);
+2. **pool** — each partition pinned to a warm worker of
+   :mod:`repro.parallel` via affinity keys, epochs exchanged as
+   wire-encoded bundles.
+
+Verifies the two runs are **bit-identical** (per-packet latency
+samples, per-wafer flit counts) and writes ``BENCH_dcn.json`` with the
+wall-clocks and one **gate**:
+
+* ``partition_gate`` — ``pool_speedup >= min(effective_cores,
+  n_wafers) / 2``. On a multi-core box partitioning must actually pay;
+  on a single effective core the threshold is 0.5, i.e. the barrier +
+  wire crossing may at most double the wall-clock.
+
+The process exit code enforces the gate (and parity, and that the run
+drained without truncation) — CI fails the ``dcn-smoke`` job on any
+regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dcn.py
+    PYTHONPATH=src python benchmarks/bench_dcn.py --hosts 64 --duration 600
+
+Also collected by pytest as a quick smoke test (tiny back-to-back
+fabric).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+
+from repro.dcn import DCNConfig, DCNShape, run_dcn
+from repro.parallel import effective_cpu_count, shutdown_shared_executor
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT_PATH = REPO_ROOT / "BENCH_dcn.json"
+
+
+def run_bench(
+    hosts: int = 32,
+    wafer_radix: int = 16,
+    ssc_radix: int = 8,
+    pattern: str = "uniform",
+    duration: int = 400,
+    load: float = 0.12,
+    seed: int = 3,
+    jobs: int = 0,
+) -> dict:
+    shape = DCNShape(
+        n_hosts=hosts, wafer_radix=wafer_radix, ssc_radix=ssc_radix
+    )
+    config = DCNConfig(
+        shape=shape,
+        pattern=pattern,
+        duration_cycles=duration,
+        load=load,
+        traffic_seed=seed,
+    )
+    cores = effective_cpu_count()
+    # Worker count: one per partition when the cores exist; at least 2
+    # so the single-core box still exercises real cross-process epochs.
+    workers = jobs or min(shape.n_wafers, max(2, cores))
+
+    serial = run_dcn(config, executor="serial")
+    print(
+        f"       serial: {serial.wall_seconds:7.2f}s for {serial.epochs} "
+        f"epochs, {serial.packets_delivered} packets ({serial.engine})"
+    )
+    pool = run_dcn(config, executor="pool", jobs=workers)
+    print(
+        f"         pool: {pool.wall_seconds:7.2f}s on {workers} worker(s)"
+    )
+
+    parity = serial.parity_signature() == pool.parity_signature()
+    speedup = round(serial.wall_seconds / pool.wall_seconds, 2)
+    threshold = round(min(cores, shape.n_wafers) / 2, 2)
+    return {
+        "config": {
+            "hosts": hosts,
+            "wafer_radix": wafer_radix,
+            "ssc_radix": ssc_radix,
+            "n_wafers": shape.n_wafers,
+            "pattern": pattern,
+            "duration_cycles": duration,
+            "load": load,
+            "seed": seed,
+            "epoch_cycles": config.epoch_cycles,
+        },
+        "engine": serial.engine,
+        "jobs": workers,
+        "cpu_count": os.cpu_count(),
+        "effective_cores": cores,
+        "serial_seconds": serial.wall_seconds,
+        "pool_seconds": pool.wall_seconds,
+        "pool_speedup": speedup,
+        "epochs": serial.epochs,
+        "packets_delivered": serial.packets_delivered,
+        "flits_delivered": serial.flits_delivered,
+        "latency": serial.latency_stats(),
+        "parity": parity,
+        "truncated": serial.truncated or pool.truncated,
+        "partition_gate": {
+            "threshold": threshold,
+            "passed": speedup >= threshold,
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=32)
+    parser.add_argument("--wafer-radix", type=int, default=16)
+    parser.add_argument("--radix", type=int, default=8)
+    parser.add_argument(
+        "--pattern",
+        choices=("uniform", "alltoall", "incast", "elephant_mouse"),
+        default="uniform",
+    )
+    parser.add_argument("--duration", type=int, default=400)
+    parser.add_argument("--load", type=float, default=0.12)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="pool workers (0 = auto)"
+    )
+    args = parser.parse_args()
+
+    try:
+        report = run_bench(
+            hosts=args.hosts,
+            wafer_radix=args.wafer_radix,
+            ssc_radix=args.radix,
+            pattern=args.pattern,
+            duration=args.duration,
+            load=args.load,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+    finally:
+        shutdown_shared_executor()
+    gate = report["partition_gate"]
+    print(
+        f"pool speedup {report['pool_speedup']}x over serial partition "
+        f"execution on {report['effective_cores']} effective core(s) "
+        f"(gate >= {gate['threshold']}: "
+        f"{'pass' if gate['passed'] else 'FAIL'}), "
+        f"parity: {report['parity']}"
+    )
+    ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {ARTIFACT_PATH}")
+    ok = report["parity"] and gate["passed"] and not report["truncated"]
+    return 0 if ok else 1
+
+
+def test_dcn_bench_smoke():
+    """Tiny end-to-end pass: bit parity + a well-formed gate report."""
+    try:
+        report = run_bench(
+            hosts=16,
+            wafer_radix=16,
+            ssc_radix=8,
+            duration=120,
+            load=0.06,
+            seed=2,
+            jobs=2,
+        )
+    finally:
+        shutdown_shared_executor()
+    assert report["parity"]
+    assert not report["truncated"]
+    assert report["packets_delivered"] > 0
+    assert 0 < report["partition_gate"]["threshold"] <= report["config"]["n_wafers"] / 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

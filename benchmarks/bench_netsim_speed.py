@@ -186,6 +186,49 @@ def engine_speedup(vectorized: dict, repeats: int = 1) -> dict:
     return section
 
 
+#: Allowed drop below the committed per-workload baseline (fraction).
+SPEED_GATE_SLACK = 0.20
+
+
+def speed_regression_gate(report: dict, committed: dict) -> dict:
+    """Hold vectorized cycles/sec to the committed BENCH baselines.
+
+    Mirrors the ``BENCH_runner.json`` gate pattern: each workload's
+    measured cycles/sec must stay within :data:`SPEED_GATE_SLACK` of
+    the ``engine_speedup`` baseline recorded in the committed
+    ``BENCH_netsim.json``, after normalizing host-speed drift through
+    the calibration probe ratio. ``main`` exits non-zero on a miss.
+    """
+    gate: dict = {
+        "slack_pct": round(SPEED_GATE_SLACK * 100.0, 1),
+        "workloads": {},
+        "passed": True,
+    }
+    baselines = committed.get("engine_speedup") or {}
+    base_calibration = committed.get("calibration_ops_per_sec")
+    if not baselines or not base_calibration:
+        gate["skipped"] = "committed report lacks engine_speedup/calibration"
+        return gate
+    scale = report["calibration_ops_per_sec"] / base_calibration
+    gate["calibration_scale"] = round(scale, 3)
+    for name, entry in baselines.items():
+        if name not in report["workloads"]:
+            continue
+        baseline = entry["vectorized_cycles_per_sec"]
+        floor = baseline * scale * (1.0 - SPEED_GATE_SLACK)
+        measured = report["workloads"][name]["cycles_per_sec"]
+        passed = measured >= floor
+        gate["workloads"][name] = {
+            "baseline_cycles_per_sec": baseline,
+            "floor_cycles_per_sec": round(floor, 1),
+            "measured_cycles_per_sec": measured,
+            "passed": passed,
+        }
+        if not passed:
+            gate["passed"] = False
+    return gate
+
+
 def run_all(repeats: int = 2) -> dict:
     # Calibrate before AND after the workloads and keep the max: best-of
     # converges on the host's unloaded speed, the most stable estimator
@@ -197,6 +240,11 @@ def run_all(repeats: int = 2) -> dict:
     report["calibration_ops_per_sec"] = round(calibration, 1)
     report["telemetry_overhead"] = telemetry_overhead(repeats=repeats)
     report["engine_speedup"] = engine_speedup(results)
+    committed = (
+        json.loads(ARTIFACT_PATH.read_text()) if ARTIFACT_PATH.exists()
+        else {}
+    )
+    report["speed_gate"] = speed_regression_gate(report, committed)
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())["workloads"]
         speedups = {}
@@ -209,7 +257,7 @@ def run_all(repeats: int = 2) -> dict:
     return report
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--update-baseline",
@@ -244,12 +292,24 @@ def main() -> None:
         f"({overhead['enabled_overhead_pct']:+.1f}% when enabled)"
     )
 
+    gate = report["speed_gate"]
+    if gate.get("skipped"):
+        print(f"speed gate: skipped ({gate['skipped']})")
+    else:
+        for name, entry in gate["workloads"].items():
+            print(
+                f"speed gate {name}: {entry['measured_cycles_per_sec']:.0f}"
+                f" c/s vs floor {entry['floor_cycles_per_sec']:.0f} c/s "
+                f"({'pass' if entry['passed'] else 'FAIL'})"
+            )
+
     ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n")
     print(f"wrote {ARTIFACT_PATH}")
     if args.update_baseline:
         BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
         BASELINE_PATH.write_text(json.dumps(report, indent=1) + "\n")
         print(f"wrote {BASELINE_PATH}")
+    return 0 if gate["passed"] else 1
 
 
 def test_netsim_speed_smoke():
@@ -259,5 +319,24 @@ def test_netsim_speed_smoke():
     assert result["cycles_per_sec"] > 0
 
 
+def test_speed_regression_gate():
+    """Gate math: pass at baseline, fail past the slack, scale-aware."""
+    committed = {
+        "calibration_ops_per_sec": 1000.0,
+        "engine_speedup": {
+            "w": {"vectorized_cycles_per_sec": 100.0, "speedup": 10.0}
+        },
+    }
+    report = {
+        "calibration_ops_per_sec": 500.0,  # host half as fast -> floor 40
+        "workloads": {"w": {"cycles_per_sec": 41.0}},
+    }
+    gate = speed_regression_gate(report, committed)
+    assert gate["passed"] and gate["workloads"]["w"]["passed"]
+    report["workloads"]["w"]["cycles_per_sec"] = 39.0
+    assert not speed_regression_gate(report, committed)["passed"]
+    assert speed_regression_gate(report, {}).get("skipped")
+
+
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -9,7 +9,9 @@ through three frozen query dataclasses:
 * :class:`SweepQuery`    — paper-artifact experiment tables, served
   through the content-addressed result cache;
 * :class:`SimQuery`      — a load-latency sweep on one of the netsim
-  network models, optionally with telemetry capture.
+  network models, optionally with telemetry capture;
+* :class:`DCNQuery`      — a partitioned multi-wafer DCN simulation
+  (leaf/spine folded Clos of wafers, see :mod:`repro.dcn`).
 
 Each query round-trips through ``to_dict``/``from_dict`` (the wire
 format of the :mod:`repro.serve` server) and has a deterministic
@@ -136,12 +138,52 @@ class SimQuery:
         return _query_from_dict(cls, payload)
 
 
-Query = Union[DesignQuery, SweepQuery, SimQuery]
+@dataclass(frozen=True)
+class DCNQuery:
+    """Partitioned multi-wafer DCN simulation (see :mod:`repro.dcn`).
+
+    ``executor`` defaults to ``"serial"`` — the safe choice on the
+    serve path, where queries already run inside pool workers and must
+    not open nested pools.  Direct callers wanting partition-level
+    parallelism pass ``"pool"`` (or ``"auto"``).  ``failure_seed < 0``
+    disables failure injection entirely.
+    """
+
+    hosts: int = 16
+    wafer_radix: int = 16
+    ssc_radix: int = 8
+    back_to_back: bool = False
+    pattern: str = "uniform"
+    duration_cycles: int = 128
+    load: float = 0.05
+    packet_size_flits: int = 4
+    seed: int = 1
+    lookahead: int = 0
+    inter_wafer_latency: int = 40
+    vcs: int = 4
+    buffer_flits: int = 16
+    failure_seed: int = -1
+    ssc_area_mm2: float = 25.0
+    link_failure_prob: float = 0.0
+    executor: str = "serial"
+
+    kind = "dcn"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _query_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DCNQuery":
+        return _query_from_dict(cls, payload)
+
+
+Query = Union[DesignQuery, SweepQuery, SimQuery, DCNQuery]
 
 _QUERY_KINDS = {
     DesignQuery.kind: DesignQuery,
     SweepQuery.kind: SweepQuery,
     SimQuery.kind: SimQuery,
+    DCNQuery.kind: DCNQuery,
 }
 
 
@@ -396,6 +438,55 @@ def _execute_sim(
     return result
 
 
+def _execute_dcn(query: DCNQuery, engine: str) -> Dict[str, Any]:
+    from repro.dcn import DCNConfig, DCNShape, FailureConfig, run_dcn
+    from repro.dcn.sim import EXECUTORS
+    from repro.dcn.traffic import PATTERNS
+
+    if query.executor not in EXECUTORS:
+        raise QueryError(
+            f"unknown executor {query.executor!r}; choose from {EXECUTORS}"
+        )
+    if query.pattern not in PATTERNS:
+        raise QueryError(
+            f"unknown DCN traffic pattern {query.pattern!r}; "
+            f"choose from {PATTERNS}"
+        )
+    failures = (
+        FailureConfig(
+            seed=query.failure_seed,
+            ssc_area_mm2=query.ssc_area_mm2,
+            link_failure_prob=query.link_failure_prob,
+        )
+        if query.failure_seed >= 0
+        else None
+    )
+    try:
+        shape = DCNShape(
+            n_hosts=query.hosts,
+            wafer_radix=query.wafer_radix,
+            ssc_radix=query.ssc_radix,
+            back_to_back=query.back_to_back,
+            inter_wafer_latency=query.inter_wafer_latency,
+            num_vcs=query.vcs,
+            buffer_flits=query.buffer_flits,
+        )
+        config = DCNConfig(
+            shape=shape,
+            pattern=query.pattern,
+            duration_cycles=query.duration_cycles,
+            load=query.load,
+            size_flits=query.packet_size_flits,
+            traffic_seed=query.seed,
+            lookahead=query.lookahead,
+            failures=failures,
+            engine=engine,
+        )
+    except ValueError as exc:
+        raise QueryError(f"bad dcn query: {exc}") from exc
+    return run_dcn(config, executor=query.executor).to_dict()
+
+
 def execute(
     query: Query,
     engine: str = "auto",
@@ -425,6 +516,8 @@ def execute(
         result = _execute_sweep(query, _resolve_cache(cache))
     elif isinstance(query, SimQuery):
         result = _execute_sim(query, engine, on_telemetry)
+    elif isinstance(query, DCNQuery):
+        result = _execute_dcn(query, engine)
     else:
         raise QueryError(f"not a query: {query!r}")
     response["result"] = result

@@ -143,6 +143,62 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dcn(args: argparse.Namespace) -> int:
+    from repro.api import DCNQuery, execute
+
+    query = DCNQuery(
+        hosts=args.hosts,
+        wafer_radix=args.wafer_radix,
+        ssc_radix=args.radix,
+        back_to_back=args.back_to_back,
+        pattern=args.pattern,
+        duration_cycles=args.duration,
+        load=args.load,
+        seed=args.seed,
+        lookahead=args.lookahead,
+        inter_wafer_latency=args.inter_wafer_latency,
+        failure_seed=args.failure_seed,
+        link_failure_prob=args.link_failure_prob,
+        executor=args.executor,
+    )
+    response = execute(query, engine=args.engine)
+    result = response["result"]
+    print(
+        f"dcn: {result['n_wafers']} wafers, executor={result['executor']}, "
+        f"engine={result['engine']}"
+    )
+    print(
+        f"  packets {result['packets_delivered']}/{result['packets_created']}"
+        f" delivered ({result['packets_dropped_unroutable']} unroutable), "
+        f"flits {result['flits_delivered']}/{result['flits_offered']}"
+    )
+    if result["dead_sscs"] or result["dead_links"]:
+        print(
+            f"  failures: {result['dead_sscs']} dead SSCs, "
+            f"{result['dead_links']} dead links"
+        )
+    latency = result["latency"]
+    if latency.get("count"):
+        print(
+            f"  latency avg {latency['avg']} p50 {latency['p50']} "
+            f"p99 {latency['p99']} max {latency['max']} cycles"
+        )
+    print(
+        f"  {result['epochs']} epochs x {result['epoch_cycles']} cycles in "
+        f"{result['wall_seconds']:.3f}s"
+    )
+    if args.json:
+        import json
+        import pathlib
+
+        target = pathlib.Path(args.json)
+        if target.parent != pathlib.Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(response, indent=1, sort_keys=True) + "\n")
+        print(f"  response written to {target}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import main as serve_main
 
@@ -283,6 +339,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="netsim kernel (default auto; see repro.engines)",
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    dcn = sub.add_parser(
+        "dcn", help="partitioned multi-wafer DCN simulation"
+    )
+    dcn.add_argument("--hosts", type=int, default=16)
+    dcn.add_argument("--wafer-radix", type=int, default=16)
+    dcn.add_argument("--radix", type=int, default=8, help="intra-wafer SSC radix")
+    dcn.add_argument(
+        "--back-to-back",
+        action="store_true",
+        help="two leaf wafers trunked directly (needs hosts == wafer radix)",
+    )
+    dcn.add_argument(
+        "--pattern",
+        choices=("uniform", "alltoall", "incast", "elephant_mouse"),
+        default="uniform",
+    )
+    dcn.add_argument("--duration", type=int, default=128)
+    dcn.add_argument("--load", type=float, default=0.05)
+    dcn.add_argument("--seed", type=int, default=1)
+    dcn.add_argument(
+        "--lookahead",
+        type=int,
+        default=0,
+        help="epoch length in cycles (0 = inter-wafer latency, the max)",
+    )
+    dcn.add_argument("--inter-wafer-latency", type=int, default=40)
+    dcn.add_argument(
+        "--failure-seed",
+        type=int,
+        default=-1,
+        help="yield-model failure injection seed (negative disables)",
+    )
+    dcn.add_argument("--link-failure-prob", type=float, default=0.0)
+    dcn.add_argument(
+        "--executor",
+        choices=("auto", "serial", "pool"),
+        default="auto",
+        help="serial = monolithic reference; pool = one warm worker "
+        "per wafer partition",
+    )
+    dcn.add_argument(
+        "--engine", choices=("auto", "c", "numpy", "scalar"), default="auto"
+    )
+    dcn.add_argument(
+        "--json", default=None, metavar="OUT.json",
+        help="also write the full API response to this file",
+    )
+    dcn.set_defaults(func=_cmd_dcn)
 
     serve = sub.add_parser("serve", help="query the model over HTTP")
     serve.add_argument("--host", default="127.0.0.1")

@@ -1,0 +1,23 @@
+"""Multi-wafer datacenter network simulation.
+
+Composes N waferscale switches (each a cycle-accurate
+:mod:`repro.netsim` instance) into a leaf/spine folded-Clos DCN and
+simulates them as partitions synchronized by a conservative epoch
+barrier — see :mod:`repro.dcn.sim` and docs/dcn.md.
+"""
+
+from repro.dcn.fabric import DCNFabric, DCNRouteError, DCNShape
+from repro.dcn.failures import DCNFailures, FailureConfig, sample_failures
+from repro.dcn.sim import DCNConfig, DCNResult, run_dcn
+
+__all__ = [
+    "DCNConfig",
+    "DCNFabric",
+    "DCNFailures",
+    "DCNResult",
+    "DCNRouteError",
+    "DCNShape",
+    "FailureConfig",
+    "run_dcn",
+    "sample_failures",
+]

@@ -1,0 +1,308 @@
+"""DCN fabric: a folded Clos whose switches are whole wafers.
+
+The paper's Tables VII-IX size datacenter deployments of the
+waferscale switch analytically; this module builds the same leaf/spine
+folded Clos *as a simulable object*.  The construction literally
+reuses :func:`repro.topology.clos.folded_clos` — each wafer plays the
+role the sub-switch chiplet plays inside one wafer, one level up:
+
+* ``wafer_radix`` external ports per wafer switch,
+* ``2 * n_hosts / wafer_radix`` **leaf wafers**, each terminating
+  ``wafer_radix / 2`` hosts and spreading as many uplink channels
+  across the spine tier (remainders rotated per leaf, exactly as the
+  intra-wafer builder does),
+* ``n_hosts / wafer_radix`` **spine wafers**, each exactly filled.
+
+Every wafer — leaf or spine — is therefore a radix-``wafer_radix``
+switch, simulated cycle-accurately by
+:func:`repro.netsim.network.waferscale_clos_network`.  A leaf wafer's
+terminals ``[0, hosts_per_leaf)`` are hosts; the rest are *gateway*
+terminals, one per inter-wafer uplink channel.  Spine wafer terminals
+are all gateways, grouped by source leaf.
+
+A degenerate **back-to-back** shape (two leaf wafers trunked directly,
+no spine tier) is the smallest partitionable DCN and the golden parity
+configuration.
+
+Routing picks the spine and the up/down channels per DCN packet with a
+splitmix64 hash of the packet id — deterministic, seed-free, and
+independent of partition layout, which is what lets a partitioned run
+reproduce a monolithic one bit-for-bit.  Failed hosts, gateways, and
+channels (:mod:`repro.dcn.failures`) are excluded from the option set;
+a packet with no surviving option raises :class:`DCNRouteError` and is
+dropped (and counted) by the coordinator rather than silently lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.netsim.network import ClosShape, NetworkModel, waferscale_clos_network
+from repro.tech.chiplet import scaled_leaf_die, tomahawk5
+from repro.topology.clos import folded_clos
+
+_M64 = (1 << 64) - 1
+
+
+def _mix(value: int) -> int:
+    """splitmix64 finalizer: one deterministic 64-bit hash per id."""
+    value = (value + 0x9E3779B97F4A7C15) & _M64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _M64
+    return value ^ (value >> 31)
+
+
+class DCNRouteError(Exception):
+    """No surviving path between two hosts (failures ate them all)."""
+
+
+class Segment(NamedTuple):
+    """One wafer traversal: inject at ``entry``, deliver at ``exit``."""
+
+    wafer: int
+    entry: int
+    exit: int
+
+
+@dataclass(frozen=True)
+class DCNShape:
+    """Geometry and per-wafer simulator knobs of a multi-wafer DCN.
+
+    ``n_hosts`` external host ports spread over leaf wafers of radix
+    ``wafer_radix``; intra-wafer Clos built from ``ssc_radix`` SSCs
+    (``spine_ssc_radix`` overrides it for the spine tier).  When
+    ``back_to_back`` is true the shape is the two-leaf trunked
+    degenerate (requires ``n_hosts == wafer_radix``).  The smaller
+    ``num_vcs``/``buffer_flits`` defaults (vs the single-wafer
+    experiments) keep N-wafer sweeps tractable; both stay overridable.
+    """
+
+    n_hosts: int
+    wafer_radix: int
+    ssc_radix: int
+    spine_ssc_radix: int = 0
+    back_to_back: bool = False
+    inter_wafer_latency: int = 40
+    num_vcs: int = 4
+    buffer_flits: int = 16
+
+    def __post_init__(self) -> None:
+        ClosShape(self.wafer_radix, self.ssc_radix)
+        if self.spine_ssc_radix:
+            ClosShape(self.wafer_radix, self.spine_ssc_radix)
+        if self.back_to_back:
+            if self.n_hosts != self.wafer_radix:
+                raise ValueError(
+                    "back-to-back shape needs n_hosts == wafer_radix "
+                    f"({self.n_hosts} != {self.wafer_radix})"
+                )
+        else:
+            # Same integral constraints as the intra-wafer Clos, one
+            # level up (folded_clos re-validates at build time).
+            ClosShape(self.n_hosts, self.wafer_radix)
+        if self.inter_wafer_latency < 1:
+            raise ValueError("inter_wafer_latency must be >= 1")
+
+    @property
+    def hosts_per_leaf(self) -> int:
+        return self.wafer_radix // 2
+
+    @property
+    def n_leaves(self) -> int:
+        return 2 * self.n_hosts // self.wafer_radix
+
+    @property
+    def n_spines(self) -> int:
+        return 0 if self.back_to_back else self.n_hosts // self.wafer_radix
+
+    @property
+    def n_wafers(self) -> int:
+        return self.n_leaves + self.n_spines
+
+    @property
+    def wafer_terminals(self) -> int:
+        return self.wafer_radix
+
+    def leaf_of_host(self, host: int) -> int:
+        return host // self.hosts_per_leaf
+
+    def local_of_host(self, host: int) -> int:
+        return host % self.hosts_per_leaf
+
+
+class DCNFabric:
+    """Precomputed wiring + routing tables for one (shape, failures).
+
+    ``failures`` is an optional :class:`repro.dcn.failures.DCNFailures`
+    sample; ``None`` means a fault-free fabric.
+    """
+
+    def __init__(self, shape: DCNShape, failures=None):
+        self.shape = shape
+        self.failures = failures
+        H = shape.hosts_per_leaf
+        L = shape.n_leaves
+        S = shape.n_spines
+
+        # channels[l][s]: inter-wafer channel count between leaf l and
+        # spine s (back-to-back: one trunk of H channels, peer implied).
+        if shape.back_to_back:
+            self.channels = [[H], [H]]
+        else:
+            topology = folded_clos(
+                shape.n_hosts,
+                ssc=scaled_leaf_die(
+                    shape.wafer_radix,
+                    tomahawk5().port_bandwidth_gbps,
+                    reference=tomahawk5(),
+                ),
+            )
+            self.topology = topology
+            self.channels = [[0] * S for _ in range(L)]
+            for link in topology.links:
+                self.channels[link.a][link.b - L] = link.channels
+
+        # Gateway terminal offsets.  Leaf l, spine s, channel c sits at
+        # leaf terminal H + leaf_gw_base[l][s] + c, and at spine
+        # terminal spine_entry_base[s][l] + c.
+        self.leaf_gw_base: List[List[int]] = []
+        for l in range(L):
+            bases, total = [], 0
+            for count in self.channels[l]:
+                bases.append(total)
+                total += count
+            self.leaf_gw_base.append(bases)
+            if H + total != shape.wafer_terminals:
+                raise AssertionError("leaf uplinks must fill the wafer")
+        self.spine_entry_base: List[List[int]] = []
+        for s in range(S):
+            bases, total = [], 0
+            for l in range(L):
+                bases.append(total)
+                total += self.channels[l][s]
+            self.spine_entry_base.append(bases)
+            if total != shape.wafer_terminals:
+                raise AssertionError("spine entries must fill the wafer")
+
+        dead_terms = frozenset(failures.dead_terminals) if failures else frozenset()
+        dead_links = frozenset(failures.dead_links) if failures else frozenset()
+        self._dead_terminals = dead_terms
+        self._dead_links = dead_links
+        self.alive_hosts = tuple(
+            host
+            for host in range(shape.n_hosts)
+            if (shape.leaf_of_host(host), shape.local_of_host(host))
+            not in dead_terms
+        )
+        self._options: Dict[Tuple[int, int], tuple] = {}
+
+    # -- wafer construction --------------------------------------------
+
+    def build_wafer(self, wafer: int) -> NetworkModel:
+        shape = self.shape
+        is_spine = wafer >= shape.n_leaves
+        radix = (
+            shape.spine_ssc_radix or shape.ssc_radix
+            if is_spine
+            else shape.ssc_radix
+        )
+        return waferscale_clos_network(
+            shape.wafer_terminals,
+            radix,
+            num_vcs=shape.num_vcs,
+            buffer_flits_per_port=shape.buffer_flits,
+        )
+
+    # -- failure-aware channel liveness --------------------------------
+
+    def _channel_alive(self, leaf: int, spine: int, channel: int) -> bool:
+        # Back-to-back trunk channels are one shared link; failures.py
+        # keys them from leaf 0's side.
+        link_key = (
+            (0, spine, channel)
+            if self.shape.back_to_back
+            else (leaf, spine, channel)
+        )
+        if link_key in self._dead_links:
+            return False
+        H = self.shape.hosts_per_leaf
+        gateway = H + self.leaf_gw_base[leaf][spine] + channel
+        if (leaf, gateway) in self._dead_terminals:
+            return False
+        if self.shape.back_to_back:
+            peer = 1 - leaf
+            return (
+                peer,
+                H + self.leaf_gw_base[peer][spine] + channel,
+            ) not in self._dead_terminals
+        spine_wafer = self.shape.n_leaves + spine
+        entry = self.spine_entry_base[spine][leaf] + channel
+        return (spine_wafer, entry) not in self._dead_terminals
+
+    def _pair_options(self, src_leaf: int, dst_leaf: int) -> tuple:
+        """Alive ``(spine, up_channel, down_channel)`` triples, cached."""
+        key = (src_leaf, dst_leaf)
+        cached = self._options.get(key)
+        if cached is None:
+            options = []
+            for spine in range(len(self.channels[src_leaf])):
+                ups = [
+                    c
+                    for c in range(self.channels[src_leaf][spine])
+                    if self._channel_alive(src_leaf, spine, c)
+                ]
+                if self.shape.back_to_back:
+                    options.extend((spine, c, c) for c in ups)
+                    continue
+                downs = [
+                    c
+                    for c in range(self.channels[dst_leaf][spine])
+                    if self._channel_alive(dst_leaf, spine, c)
+                ]
+                options.extend(
+                    (spine, up, down) for up in ups for down in downs
+                )
+            cached = self._options[key] = tuple(options)
+        return cached
+
+    # -- routing --------------------------------------------------------
+
+    def route(self, dcn_id: int, src_host: int, dst_host: int) -> List[Segment]:
+        """Wafer-hop segments for one packet, or :class:`DCNRouteError`."""
+        shape = self.shape
+        src_leaf, src_local = (
+            shape.leaf_of_host(src_host), shape.local_of_host(src_host)
+        )
+        dst_leaf, dst_local = (
+            shape.leaf_of_host(dst_host), shape.local_of_host(dst_host)
+        )
+        dead = self._dead_terminals
+        if (src_leaf, src_local) in dead or (dst_leaf, dst_local) in dead:
+            raise DCNRouteError(f"host endpoint dead: {src_host}->{dst_host}")
+        if src_leaf == dst_leaf:
+            return [Segment(src_leaf, src_local, dst_local)]
+        options = self._pair_options(src_leaf, dst_leaf)
+        if not options:
+            raise DCNRouteError(
+                f"no surviving channel between leaves {src_leaf} and {dst_leaf}"
+            )
+        spine, up, down = options[_mix(dcn_id) % len(options)]
+        H = shape.hosts_per_leaf
+        src_gateway = H + self.leaf_gw_base[src_leaf][spine] + up
+        dst_gateway = H + self.leaf_gw_base[dst_leaf][spine] + down
+        if shape.back_to_back:
+            return [
+                Segment(src_leaf, src_local, src_gateway),
+                Segment(dst_leaf, dst_gateway, dst_local),
+            ]
+        spine_wafer = shape.n_leaves + spine
+        return [
+            Segment(src_leaf, src_local, src_gateway),
+            Segment(
+                spine_wafer,
+                self.spine_entry_base[spine][src_leaf] + up,
+                self.spine_entry_base[spine][dst_leaf] + down,
+            ),
+            Segment(dst_leaf, dst_gateway, dst_local),
+        ]

@@ -1,0 +1,476 @@
+"""Hierarchical DCN simulation: N wafer partitions, one epoch barrier.
+
+Every wafer in the fabric runs as its own cycle-accurate
+:class:`~repro.netsim.partition.WaferPartition`.  The coordinator
+synchronizes them with a **conservative epoch barrier**: with
+``lookahead = inter_wafer_link_latency`` (the minimum cycles any flit
+spends between wafers), a packet leaving wafer A during epoch ``k``
+cannot reach wafer B before epoch ``k + 1`` — so all partitions can
+simulate one full epoch independently, exchange their delivered
+traffic as batched bundles, and never violate causality.  Epoch
+results are therefore *identical* for any execution order of the
+partitions, which is the whole parity story:
+
+* the **serial** executor steps every partition in-process — this is
+  the monolithic single-process reference;
+* the **pool** executor dispatches each partition's epochs to the warm
+  :class:`repro.parallel.WorkerPool`, one worker per partition (pinned
+  with affinity keys so the live engine state stays resident), with
+  event bundles and delivery reports crossing as
+  :mod:`repro.wire`-encoded messages.
+
+Both run the same coordinator loop on the same inputs; the pool run
+must reproduce the serial run bit-for-bit (latency samples, flit
+counts) — the CI ``dcn-smoke`` job and ``tests/dcn`` assert exactly
+that.  If a pinned worker dies mid-run
+(:class:`~repro.parallel.AffinityLostError`), its in-process partition
+state is unrecoverable; ``executor="auto"`` restarts the whole run on
+the serial path instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from repro import wire
+from repro.dcn import traffic as dcn_traffic
+from repro.dcn.fabric import DCNFabric, DCNRouteError, DCNShape
+from repro.dcn.failures import DCNFailures, FailureConfig, sample_failures
+from repro.netsim.partition import WaferPartition
+from repro.parallel import (
+    AffinityLostError,
+    effective_cpu_count,
+    shared_pool,
+)
+
+EXECUTORS = ("auto", "serial", "pool")
+
+
+@dataclass(frozen=True)
+class DCNConfig:
+    """One DCN experiment: fabric shape, traffic, failures, engine."""
+
+    shape: DCNShape
+    pattern: str = "uniform"
+    duration_cycles: int = 256
+    load: float = 0.05
+    size_flits: int = 4
+    traffic_seed: int = 1
+    #: Epoch length in cycles; 0 means the maximum safe value, the
+    #: shape's ``inter_wafer_latency``.  Smaller epochs are still
+    #: correct (more barriers, same results) — the parity tests sweep
+    #: this to prove it.
+    lookahead: int = 0
+    #: Safety bound on simulated cycles; 0 derives a generous default.
+    max_cycles: int = 0
+    failures: Optional[FailureConfig] = None
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.lookahead < 0 or self.lookahead > self.shape.inter_wafer_latency:
+            raise ValueError(
+                "lookahead must be in [1, inter_wafer_latency] "
+                f"(got {self.lookahead}, max {self.shape.inter_wafer_latency})"
+            )
+
+    @property
+    def epoch_cycles(self) -> int:
+        return self.lookahead or self.shape.inter_wafer_latency
+
+    @property
+    def cycle_bound(self) -> int:
+        return self.max_cycles or (
+            self.duration_cycles + 200 * self.shape.inter_wafer_latency + 5000
+        )
+
+
+@dataclass
+class DCNResult:
+    """Outcome of one run; ``latencies`` is parity-comparable verbatim."""
+
+    executor: str
+    engine: str
+    n_wafers: int
+    epochs: int
+    epoch_cycles: int
+    cycles: int
+    packets_created: int
+    packets_routed: int
+    packets_dropped_unroutable: int
+    packets_delivered: int
+    flits_offered: int
+    flits_delivered: int
+    truncated: bool
+    wall_seconds: float
+    dead_sscs: int
+    dead_links: int
+    #: ``latencies[i]`` is the end-to-end cycle latency of DCN packet
+    #: ``i`` (creation to final-hop delivery), ``-1`` if undelivered.
+    latencies: List[int] = field(default_factory=list)
+    per_wafer: List[Dict[str, int]] = field(default_factory=list)
+
+    def latency_stats(self) -> Dict[str, float]:
+        done = sorted(l for l in self.latencies if l >= 0)
+        if not done:
+            return {"count": 0}
+        return {
+            "count": len(done),
+            "avg": round(sum(done) / len(done), 3),
+            "p50": done[len(done) // 2],
+            "p99": done[min(len(done) - 1, (len(done) * 99) // 100)],
+            "max": done[-1],
+        }
+
+    def parity_signature(self) -> Dict[str, object]:
+        """Everything two runs must agree on bit-for-bit."""
+        return {
+            "latencies": list(self.latencies),
+            "flits_offered": self.flits_offered,
+            "flits_delivered": self.flits_delivered,
+            "packets_delivered": self.packets_delivered,
+            "per_wafer": [dict(c) for c in self.per_wafer],
+            "epochs": self.epochs,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        summary = {
+            name: getattr(self, name)
+            for name in (
+                "executor", "engine", "n_wafers", "epochs", "epoch_cycles",
+                "cycles", "packets_created", "packets_routed",
+                "packets_dropped_unroutable", "packets_delivered",
+                "flits_offered", "flits_delivered", "truncated",
+                "wall_seconds", "dead_sscs", "dead_links",
+            )
+        }
+        summary["latency"] = self.latency_stats()
+        summary["latency_sum"] = sum(l for l in self.latencies if l >= 0)
+        summary["per_wafer"] = self.per_wafer
+        return summary
+
+
+# ----------------------------------------------------------------------
+# Route plan (shared by every executor)
+# ----------------------------------------------------------------------
+
+class _Plan:
+    """Fabric + routed traffic, computed once per run."""
+
+    def __init__(self, config: DCNConfig):
+        self.config = config
+        self.failures: Optional[DCNFailures] = (
+            sample_failures(config.shape, config.failures)
+            if config.failures is not None
+            else None
+        )
+        self.fabric = DCNFabric(config.shape, self.failures)
+        self.events = dcn_traffic.generate(
+            config.pattern,
+            self.fabric.alive_hosts,
+            config.duration_cycles,
+            config.traffic_seed,
+            load=config.load,
+            size_flits=config.size_flits,
+        )
+        self.routes = []
+        self.dropped = 0
+        for dcn_id, (cycle, src, dst, size) in enumerate(self.events):
+            try:
+                self.routes.append(self.fabric.route(dcn_id, src, dst))
+            except DCNRouteError:
+                self.routes.append(None)
+                self.dropped += 1
+
+
+# ----------------------------------------------------------------------
+# Partition backends
+# ----------------------------------------------------------------------
+
+class _LocalBackend:
+    """All partitions live in this process (the monolithic reference)."""
+
+    name = "serial"
+
+    def __init__(self, plan: _Plan):
+        self.partitions = [
+            WaferPartition(
+                plan.fabric.build_wafer(w), engine=plan.config.engine
+            )
+            for w in range(plan.config.shape.n_wafers)
+        ]
+        self.engine = self.partitions[0].engine_name
+
+    def run_epoch(self, end: int, batches: Dict[int, list]):
+        results = {}
+        for wafer, events in batches.items():
+            partition = self.partitions[wafer]
+            partition.enqueue(events)
+            results[wafer] = partition.advance(end)
+        return results
+
+    def close(self) -> None:
+        pass
+
+
+# Worker-resident partition registry, keyed "run_id:wafer".  Lives in
+# the pool worker process; affinity pinning guarantees every epoch task
+# for a given key lands on the worker holding its entry.
+_SESSIONS: Dict[str, WaferPartition] = {}
+_RUN_IDS = itertools.count()
+
+
+def _worker_open(run_id, wafer, shape, failures, engine):
+    fabric = DCNFabric(shape, failures)
+    partition = WaferPartition(fabric.build_wafer(wafer), engine=engine)
+    _SESSIONS[f"{run_id}:{wafer}"] = partition
+    return partition.engine_name
+
+
+def _worker_epoch(run_id, wafer, end, blob):
+    partition = _SESSIONS[f"{run_id}:{wafer}"]
+    cycles, srcs, dsts, sizes, tags = wire.decode(blob)
+    partition.enqueue(
+        list(zip(cycles.tolist(), srcs.tolist(), dsts.tolist(),
+                 sizes.tolist(), tags.tolist()))
+        if len(cycles)
+        else []
+    )
+    return partition.advance(end)
+
+
+def _worker_close(run_id, wafer):
+    _SESSIONS.pop(f"{run_id}:{wafer}", None)
+    return True
+
+
+def _encode_batch(events: list) -> bytes:
+    import numpy as np
+
+    columns = (
+        tuple(
+            np.asarray(column, dtype=np.int64) for column in zip(*events)
+        )
+        if events
+        else tuple(np.zeros(0, dtype=np.int64) for _ in range(5))
+    )
+    return wire.encode(columns)
+
+
+class _PoolBackend:
+    """Each partition pinned to one warm pool worker via affinity keys."""
+
+    name = "pool"
+
+    def __init__(self, plan: _Plan, jobs: Optional[int] = None):
+        config = plan.config
+        self.run_id = f"dcn{os.getpid()}.{next(_RUN_IDS)}"
+        self.n_wafers = config.shape.n_wafers
+        self.pool = shared_pool(jobs)
+        try:
+            opens = [
+                self.pool.submit_task(
+                    _worker_open,
+                    (
+                        self.run_id, w, config.shape, plan.failures,
+                        config.engine,
+                    ),
+                    cost=1.0,
+                    label=f"dcn-open:{w}",
+                    affinity=f"{self.run_id}:{w}",
+                )
+                for w in range(self.n_wafers)
+            ]
+            self.engine = opens[0].result()[0]
+            for future in opens[1:]:
+                future.result()
+        except BaseException:
+            self.pool.release_affinity(self.run_id)
+            raise
+
+    def run_epoch(self, end: int, batches: Dict[int, list]):
+        futures = {
+            wafer: self.pool.submit_task(
+                _worker_epoch,
+                (self.run_id, wafer, end, _encode_batch(events)),
+                cost=float(len(events) + 1),
+                label=f"dcn-epoch:{wafer}@{end}",
+                affinity=f"{self.run_id}:{wafer}",
+            )
+            for wafer, events in batches.items()
+        }
+        return {
+            wafer: future.result()[0] for wafer, future in futures.items()
+        }
+
+    def close(self) -> None:
+        try:
+            closes = [
+                self.pool.submit_task(
+                    _worker_close,
+                    (self.run_id, w),
+                    label=f"dcn-close:{w}",
+                    affinity=f"{self.run_id}:{w}",
+                )
+                for w in range(self.n_wafers)
+            ]
+            for future in closes:
+                future.result()
+        except Exception:
+            pass  # best effort; released bindings free the workers anyway
+        finally:
+            self.pool.release_affinity(self.run_id)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+def _run_epochs(plan: _Plan, backend) -> DCNResult:
+    config = plan.config
+    shape = config.shape
+    epoch_cycles = config.epoch_cycles
+    latency = shape.inter_wafer_latency
+    n_wafers = shape.n_wafers
+
+    #: per-wafer min-heap of pending injections (partition Event tuples)
+    pending: List[list] = [[] for _ in range(n_wafers)]
+    hop: Dict[int, int] = {}
+    latencies = [-1] * len(plan.events)
+    for dcn_id, route in enumerate(plan.routes):
+        if route is None:
+            continue
+        create = plan.events[dcn_id][0]
+        size = plan.events[dcn_id][3]
+        first = route[0]
+        hop[dcn_id] = 0
+        heappush(
+            pending[first.wafer],
+            (create, first.entry, first.exit, size, dcn_id),
+        )
+
+    inflight = [0] * n_wafers
+    counters: List[Dict[str, int]] = [
+        {
+            "inflight": 0, "offered_flits": 0, "offered_packets": 0,
+            "delivered_flits": 0, "delivered_packets": 0,
+        }
+        for _ in range(n_wafers)
+    ]
+    epoch = 0
+    truncated = False
+    while any(pending) or any(inflight):
+        start = epoch * epoch_cycles
+        end = start + epoch_cycles
+        if end > config.cycle_bound:
+            truncated = True
+            break
+        batches: Dict[int, list] = {}
+        for wafer in range(n_wafers):
+            heap = pending[wafer]
+            events = []
+            while heap and heap[0][0] < end:
+                event = heappop(heap)
+                if event[0] < start:
+                    raise AssertionError(
+                        f"epoch barrier violated: event {event} in "
+                        f"epoch [{start}, {end})"
+                    )
+                events.append(event)
+            # Idle partitions (nothing queued, nothing in flight) are
+            # skipped entirely — identically under every backend, so
+            # skipping cannot perturb parity.
+            if events or inflight[wafer]:
+                batches[wafer] = events
+        results = backend.run_epoch(end, batches)
+        for wafer, (terms, tags, arrives, wafer_counters) in results.items():
+            inflight[wafer] = wafer_counters["inflight"]
+            counters[wafer] = wafer_counters
+            for term, dcn_id, arrive in zip(
+                terms.tolist(), tags.tolist(), arrives.tolist()
+            ):
+                route = plan.routes[dcn_id]
+                index = hop[dcn_id]
+                segment = route[index]
+                if term != segment.exit:
+                    raise AssertionError(
+                        f"packet {dcn_id} delivered at {term}, "
+                        f"expected {segment.exit}"
+                    )
+                if index == len(route) - 1:
+                    latencies[dcn_id] = arrive - plan.events[dcn_id][0]
+                    continue
+                hop[dcn_id] = index + 1
+                nxt = route[index + 1]
+                size = plan.events[dcn_id][3]
+                heappush(
+                    pending[nxt.wafer],
+                    (arrive + latency, nxt.entry, nxt.exit, size, dcn_id),
+                )
+        epoch += 1
+
+    delivered = sum(1 for l in latencies if l >= 0)
+    failures = plan.failures
+    return DCNResult(
+        executor=backend.name,
+        engine=backend.engine,
+        n_wafers=n_wafers,
+        epochs=epoch,
+        epoch_cycles=epoch_cycles,
+        cycles=epoch * epoch_cycles,
+        packets_created=len(plan.events),
+        packets_routed=len(plan.events) - plan.dropped,
+        packets_dropped_unroutable=plan.dropped,
+        packets_delivered=delivered,
+        flits_offered=sum(c["offered_flits"] for c in counters),
+        flits_delivered=sum(c["delivered_flits"] for c in counters),
+        truncated=truncated,
+        wall_seconds=0.0,
+        dead_sscs=len(failures.dead_sscs) if failures else 0,
+        dead_links=len(failures.dead_links) if failures else 0,
+        latencies=latencies,
+        per_wafer=counters,
+    )
+
+
+def run_dcn(
+    config: DCNConfig,
+    executor: str = "auto",
+    jobs: Optional[int] = None,
+) -> DCNResult:
+    """Simulate one DCN configuration end to end.
+
+    ``executor="serial"`` is the monolithic in-process reference;
+    ``"pool"`` partitions across the warm worker pool; ``"auto"``
+    picks the pool when more than one effective core is available and
+    falls back to a fresh serial run if a pinned worker is ever lost.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}")
+    plan = _Plan(config)
+    use_pool = executor == "pool" or (
+        executor == "auto" and effective_cpu_count() > 1
+    )
+    started = time.perf_counter()
+    result = None
+    if use_pool:
+        backend = None
+        try:
+            backend = _PoolBackend(plan, jobs)
+            result = _run_epochs(plan, backend)
+        except AffinityLostError:
+            if executor == "pool":
+                raise
+            result = None  # pinned worker lost: redo serially from scratch
+        finally:
+            if backend is not None:
+                backend.close()
+    if result is None:
+        started = time.perf_counter()
+        result = _run_epochs(plan, _LocalBackend(plan))
+    result.wall_seconds = round(time.perf_counter() - started, 6)
+    return result

@@ -1,0 +1,134 @@
+"""DCN-level traffic generators.
+
+Each generator returns a list of ``(cycle, src_host, dst_host,
+size_flits)`` tuples over *global* host ids, sorted, deterministic in
+``(pattern args, seed)``, with ``src != dst`` and both endpoints drawn
+only from the ``hosts`` survivor list the caller passes (so failed
+ports neither send nor sink).  The coordinator routes and tags them;
+generators know nothing about wafers.
+
+Patterns are the heavy-traffic scenarios the roadmap names:
+
+* ``uniform`` — independent Bernoulli arrivals per host per cycle,
+  uniform destinations (the classic baseline).
+* ``alltoall`` — synchronized collective rounds: in round ``r`` every
+  host ``i`` sends one packet to the host ``r + 1`` positions ahead,
+  the ring-shifted exchange an HBM-fed NPU pod performs (the fm16
+  scenario); rounds start every ``interval`` cycles.
+* ``incast`` — many-to-one fan-in: every ``interval`` cycles all other
+  hosts send to one victim (rotating per round), the straggler-making
+  pattern that stresses egress buffering.
+* ``elephant_mouse`` — a few long-lived heavy flows (elephants) under
+  a background of one-packet mice, the canonical DCN mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+Event = Tuple[int, int, int, int]
+
+PATTERNS = ("uniform", "alltoall", "incast", "elephant_mouse")
+
+
+def generate(
+    pattern: str,
+    hosts: Sequence[int],
+    duration: int,
+    seed: int,
+    load: float = 0.1,
+    size_flits: int = 4,
+) -> List[Event]:
+    """Dispatch to a named pattern; see module docstring for the menu."""
+    if pattern not in PATTERNS:
+        raise ValueError(
+            f"unknown DCN traffic pattern {pattern!r}; choose from {PATTERNS}"
+        )
+    if len(hosts) < 2:
+        raise ValueError("need at least two alive hosts to generate traffic")
+    if duration < 1:
+        raise ValueError("duration must be >= 1")
+    events = globals()[f"_{pattern}"](
+        list(hosts), duration, random.Random(seed), load, size_flits
+    )
+    events.sort()
+    return events
+
+
+def _uniform(hosts, duration, rng, load, size_flits):
+    events = []
+    n = len(hosts)
+    for cycle in range(duration):
+        for i, src in enumerate(hosts):
+            if rng.random() < load:
+                j = rng.randrange(n - 1)
+                if j >= i:
+                    j += 1
+                events.append((cycle, src, hosts[j], size_flits))
+    return events
+
+
+def _alltoall(hosts, duration, rng, load, size_flits):
+    # One full exchange is n-1 rounds; `load` sets the duty cycle via
+    # the inter-round interval (a round per 1/load cycles, min 1).
+    events = []
+    n = len(hosts)
+    interval = max(1, int(round(1.0 / max(load, 1e-9))))
+    round_index = 0
+    for start in range(0, duration, interval):
+        shift = 1 + round_index % (n - 1)
+        for i, src in enumerate(hosts):
+            # Stagger intra-round starts to avoid a single-cycle burst
+            # wall, as the fm16 system scenario does.
+            cycle = start + i % interval
+            if cycle >= duration:
+                continue
+            events.append((cycle, src, hosts[(i + shift) % n], size_flits))
+        round_index += 1
+    return events
+
+
+def _incast(hosts, duration, rng, load, size_flits):
+    events = []
+    n = len(hosts)
+    interval = max(1, int(round(n / max(load * n, 1e-9))))
+    round_index = 0
+    for start in range(0, duration, interval):
+        victim = round_index % n
+        for i, src in enumerate(hosts):
+            if i == victim:
+                continue
+            cycle = start + i % interval
+            if cycle >= duration:
+                continue
+            events.append((cycle, src, hosts[victim], size_flits))
+        round_index += 1
+    return events
+
+
+def _elephant_mouse(hosts, duration, rng, load, size_flits):
+    events = []
+    n = len(hosts)
+    # ~10% of hosts source an elephant: a persistent pinned-pair flow
+    # sending a max-size packet every few cycles for the whole run.
+    n_elephants = max(1, n // 10)
+    elephant_size = size_flits * 4
+    sources = rng.sample(range(n), n_elephants)
+    for i in sources:
+        j = rng.randrange(n - 1)
+        if j >= i:
+            j += 1
+        period = rng.randrange(4, 9)
+        for cycle in range(rng.randrange(period), duration, period):
+            events.append((cycle, hosts[i], hosts[j], elephant_size))
+    # Everyone else contributes mice at the configured load.
+    mouse_hosts = [h for k, h in enumerate(hosts) if k not in set(sources)]
+    for cycle in range(duration):
+        for src in mouse_hosts:
+            if rng.random() < load:
+                dst = src
+                while dst == src:
+                    dst = hosts[rng.randrange(n)]
+                events.append((cycle, src, dst, size_flits))
+    return events

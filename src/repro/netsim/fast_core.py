@@ -1327,26 +1327,34 @@ class FastEngine:
         replaying deliveries post-run lands every packet in the same
         window (histogram insertion is commutative).
         """
-        base = self.pk_base
-        pk_create = self.pk_create
-        pk_arrive = self.pk_arrive
-        pk_src = self.pk_src
-        pk_dst = self.pk_dst
-        for _, dpid in self._deliv_log:
-            idx = dpid - base
-            for j in idx.tolist():
-                create = int(pk_create[j])
-                window = tel._window_for_creation(create)
-                if window is None:
-                    continue
-                latency = int(pk_arrive[j]) - create
-                window.histogram.add(latency)
-                if window.flows is not None:
-                    key = f"{int(pk_src[j])}->{int(pk_dst[j])}"
+        windows = tel._windows
+        if not windows or not self._deliv_log:
+            return
+        idx = np.concatenate([dpid for _, dpid in self._deliv_log])
+        idx -= self.pk_base
+        create = self.pk_create[idx]
+        latency = self.pk_arrive[idx] - create
+        # Window starts are non-decreasing (begin_window takes monotone
+        # cycles), so searchsorted reproduces _window_for_creation —
+        # including its clamp of pre-first-window creations to window 0.
+        starts = np.array([w.start for w in windows], dtype=np.int64)
+        which = np.searchsorted(starts, create, side="right") - 1
+        which = np.maximum(which, 0)
+        for w_index, window in enumerate(windows):
+            mask = which == w_index
+            if not mask.any():
+                continue
+            lat = latency[mask]
+            window.histogram.add_many(lat)
+            if window.flows is not None:
+                src = self.pk_src[idx[mask]].tolist()
+                dst = self.pk_dst[idx[mask]].tolist()
+                for s, d, one in zip(src, dst, lat.tolist()):
+                    key = f"{s}->{d}"
                     histogram = window.flows.get(key)
                     if histogram is None:
                         histogram = window.flows[key] = LatencyHistogram()
-                    histogram.add(latency)
+                    histogram.add(one)
 
     def _c_export(self, cstate) -> None:
         """Fold the kernel's run-local state back into the engine.

@@ -1,0 +1,291 @@
+"""Incremental partition driver: step one wafer's network epoch by epoch.
+
+The batch engines in :mod:`repro.netsim.fast_core` run a whole
+simulation in one call (pregenerated Bernoulli stream or replay
+schedule, then ``_finish``).  Partitioned multi-wafer simulation
+(:mod:`repro.dcn`) needs something they don't offer: a *live* engine
+that accepts externally scheduled injections as they become known and
+advances to a target cycle, keeping all state resident between calls —
+because the next epoch's injections depend on what every other wafer
+delivered during this one.
+
+:class:`WaferPartition` wraps one pristine network in exactly that
+driver, on either engine:
+
+* the vectorized :class:`~repro.netsim.fast_core.FastEngine` (numpy
+  step loop) when the network compiles, or
+* the scalar object simulator otherwise (``REPRO_SCALAR_NETSIM=1``
+  keeps the usual oracle escape hatch).
+
+Packet ids are **partition-local** and assigned here, in deterministic
+offer order (events are consumed sorted by ``(cycle, source terminal,
+tag)``), *not* drawn from the global counter in
+:mod:`repro.netsim.packet`.  That is what makes a partitioned run
+bit-identical to a monolithic one: Clos routing hashes the packet id
+across spines/channels, so the id sequence each wafer sees must depend
+only on that wafer's injection history, never on how many other
+partitions share the process.
+
+Both engines produce identical deliveries for identical event streams
+(the differential harness pins them to each other); ``advance`` sorts
+its delivery report by ``(arrival cycle, terminal, tag)`` so the two
+engines return byte-identical bundles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.engines import resolve_netsim_engine
+from repro.netsim import fast_core
+from repro.netsim.network import NetworkModel
+from repro.netsim.packet import Packet
+
+#: One externally scheduled injection:
+#: ``(cycle, src_terminal, dst_terminal, size_flits, tag)``.  ``tag``
+#: is an opaque caller id (the DCN layer uses its global packet id) and
+#: is echoed back in the delivery report.
+Event = Tuple[int, int, int, int, int]
+
+
+class WaferPartition:
+    """One wafer's network, steppable in externally bounded epochs."""
+
+    def __init__(self, network: NetworkModel, engine: str = "auto"):
+        resolved = resolve_netsim_engine(engine)
+        self.engine = fast_core.engine_for(network, None, engine=resolved)
+        self.network = network
+        self.engine_name = "scalar" if self.engine is None else resolved
+        self._sched: deque = deque()
+        self._tags: List[int] = []
+        self._next_gid = 0
+        self.offered_flits = 0
+        self.offered_packets = 0
+        if self.engine is None:
+            self._recv_cursor = [0] * network.n_terminals
+
+    # -- caller surface -------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        return self.network.cycle if self.engine is None else self.engine.cycle
+
+    @property
+    def inflight_flits(self) -> int:
+        if self.engine is None:
+            return self.network.in_flight_flits()
+        return int(self.engine.inflight)
+
+    def enqueue(self, events: List[Event]) -> None:
+        """Schedule injections; sorted, at-or-after the current cycle.
+
+        Events must arrive sorted (plain tuple order) and never in the
+        partition's past — the epoch barrier guarantees both, and the
+        determinism of the local packet-id sequence depends on it.
+        """
+        if not events:
+            return
+        if events[0][0] < self.cycle:
+            raise ValueError(
+                f"event {events[0]} scheduled before cycle {self.cycle}"
+            )
+        for earlier, later in zip(events, events[1:]):
+            if later < earlier:
+                raise ValueError(f"events not sorted at {later}")
+        if self._sched and events[0] < self._sched[-1]:
+            raise ValueError("events overlap previously enqueued schedule")
+        self._sched.extend(events)
+
+    def advance(self, to_cycle: int):
+        """Run to ``to_cycle``; return the epoch's delivery bundle.
+
+        Returns ``(terms, tags, arrives, counters)``: three int64
+        arrays — delivery terminal, caller tag, arrival cycle — sorted
+        by ``(arrival, terminal, tag)``, plus a counters dict
+        (``inflight``, ``delivered_flits``, ``delivered_packets``,
+        ``offered_flits``, ``offered_packets``).  Every event scheduled
+        strictly before ``to_cycle`` is consumed.
+        """
+        if self.engine is None:
+            self._advance_scalar(to_cycle)
+            terms, tags, arrives = self._harvest_scalar()
+        else:
+            self._advance_fast(to_cycle)
+            terms, tags, arrives = self._harvest_fast()
+        if terms.size > 1:
+            order = np.lexsort((tags, terms, arrives))
+            terms, tags, arrives = terms[order], tags[order], arrives[order]
+        return terms, tags, arrives, self.counters()
+
+    def counters(self) -> Dict[str, int]:
+        if self.engine is None:
+            delivered_flits = sum(
+                t.flits_received for t in self.network.terminals
+            )
+            delivered_packets = sum(
+                self._recv_cursor[t.terminal_id]
+                for t in self.network.terminals
+            )
+        else:
+            delivered_flits = int(self.engine.delivered_total)
+            delivered_packets = self._delivered_packets_fast
+        return {
+            "inflight": self.inflight_flits,
+            "offered_flits": self.offered_flits,
+            "offered_packets": self.offered_packets,
+            "delivered_flits": delivered_flits,
+            "delivered_packets": delivered_packets,
+        }
+
+    # -- fast (vectorized) path ----------------------------------------
+
+    _delivered_packets_fast = 0
+
+    def _grow_fast(self, need: int) -> None:
+        engine = self.engine
+        capacity = engine.pk_dst.size
+        if need <= capacity:
+            return
+        new_cap = max(256, capacity * 2, need)
+        for name, fill in (
+            ("pk_src", 0), ("pk_dst", 0), ("pk_size", 0),
+            ("pk_create", 0), ("pk_inject", -1), ("pk_arrive", -1),
+        ):
+            old = getattr(engine, name)
+            grown = np.full(new_cap, fill, dtype=np.int64)
+            grown[:old.size] = old
+            setattr(engine, name, grown)
+
+    def _offer_fast(self, event: Event) -> int:
+        cycle, src, dst, size, tag = event
+        engine = self.engine
+        gid = self._next_gid
+        self._next_gid += 1
+        self._grow_fast(self._next_gid)
+        engine.pk_src[gid] = src
+        engine.pk_dst[gid] = dst
+        engine.pk_size[gid] = size
+        engine.pk_create[gid] = cycle
+        engine.pk_inject[gid] = -1
+        engine.pk_arrive[gid] = -1
+        self._tags.append(tag)
+        self.offered_flits += size
+        self.offered_packets += 1
+        engine._offer(src, gid, size)
+        return gid
+
+    def _fast_idle(self) -> bool:
+        engine = self.engine
+        return (
+            engine.inflight == 0
+            and engine._n_active == 0
+            and not engine._rc_buckets
+            and engine._va_stalled is None
+            and all(not q for q in engine._cls_q)
+        )
+
+    def _advance_fast(self, to_cycle: int) -> None:
+        engine = self.engine
+        sched = self._sched
+        step = engine._step
+        while engine.cycle < to_cycle:
+            now = engine.cycle
+            while sched and sched[0][0] <= now:
+                self._offer_fast(sched.popleft())
+            if not engine.inflight and self._fast_idle():
+                # Nothing in flight anywhere: cycles until the next
+                # scheduled event (or the epoch end) are pure no-ops.
+                engine.cycle = (
+                    min(sched[0][0], to_cycle) if sched else to_cycle
+                )
+                if engine.cycle >= to_cycle:
+                    return
+                continue
+            step()
+
+    def _harvest_fast(self):
+        engine = self.engine
+        log = engine._deliv_log
+        if not log:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, empty
+        terms = np.concatenate([t for t, _ in log])
+        gids = np.concatenate([p for _, p in log])
+        arrives = engine.pk_arrive[gids]
+        tags = np.asarray(self._tags, dtype=np.int64)[gids]
+        self._delivered_packets_fast += int(gids.size)
+        # The log only feeds this harvest; drop consumed entries so an
+        # arbitrarily long run holds O(in-flight) state, not O(total).
+        log.clear()
+        return terms, tags, arrives
+
+    # -- scalar (object oracle) path -----------------------------------
+
+    def _offer_scalar(self, event: Event) -> None:
+        cycle, src, dst, size, tag = event
+        gid = self._next_gid
+        self._next_gid += 1
+        packet = object.__new__(Packet)
+        packet.packet_id = gid
+        packet.src = src
+        packet.dst = dst
+        packet.size_flits = size
+        packet.create_cycle = cycle
+        packet.inject_cycle = -1
+        packet.arrive_cycle = -1
+        self._tags.append(tag)
+        self.offered_flits += size
+        self.offered_packets += 1
+        self.network.terminals[src].offer_packet(packet)
+
+    def _scalar_idle(self) -> bool:
+        network = self.network
+        return (
+            not network._link_events
+            and not network._credit_events
+            and network.in_flight_flits() == 0
+            and not any(
+                r.rc_pending or r.active_out_ports for r in network.routers
+            )
+        )
+
+    def _advance_scalar(self, to_cycle: int) -> None:
+        network = self.network
+        sched = self._sched
+        step = network.step
+        while network.cycle < to_cycle:
+            now = network.cycle
+            while sched and sched[0][0] <= now:
+                self._offer_scalar(sched.popleft())
+            if self._scalar_idle():
+                network.cycle = (
+                    min(sched[0][0], to_cycle) if sched else to_cycle
+                )
+                if network.cycle >= to_cycle:
+                    return
+                continue
+            step()
+
+    def _harvest_scalar(self):
+        terms: List[int] = []
+        tags: List[int] = []
+        arrives: List[int] = []
+        cursor = self._recv_cursor
+        for terminal in self.network.terminals:
+            received = terminal.packets_received
+            start = cursor[terminal.terminal_id]
+            if start >= len(received):
+                continue
+            for packet in received[start:]:
+                terms.append(terminal.terminal_id)
+                tags.append(self._tags[packet.packet_id])
+                arrives.append(packet.arrive_cycle)
+            cursor[terminal.terminal_id] = len(received)
+        return (
+            np.asarray(terms, dtype=np.int64),
+            np.asarray(tags, dtype=np.int64),
+            np.asarray(arrives, dtype=np.int64),
+        )

@@ -99,6 +99,30 @@ class LatencyHistogram:
         if self.max is None or latency > self.max:
             self.max = latency
 
+    def add_many(self, latencies) -> None:
+        """Bulk :meth:`add` over an integer array (numpy batch path).
+
+        Bucketing via ``frexp`` exponents: for ``x >= 2`` the exponent
+        is ``bit_length``, so ``exponent - 1 == bucket_of(x)``; values
+        below 2 are clamped into bucket 0, matching the scalar clamp.
+        """
+        import numpy as np
+
+        latencies = np.asarray(latencies, dtype=np.int64)
+        if latencies.size == 0:
+            return
+        buckets = np.frexp(np.maximum(latencies, 1).astype(np.float64))[1] - 1
+        for index, count in enumerate(np.bincount(buckets).tolist()):
+            if count:
+                self.counts[index] = self.counts.get(index, 0) + count
+        self.total += int(latencies.size)
+        self.sum += int(latencies.sum())
+        lo, hi = int(latencies.min()), int(latencies.max())
+        if self.min is None or lo < self.min:
+            self.min = lo
+        if self.max is None or hi > self.max:
+            self.max = hi
+
     def to_dict(self) -> dict:
         return {
             "total": self.total,

@@ -290,15 +290,27 @@ def _settle(future: "Future", value=None, error: Optional[BaseException] = None)
         pass
 
 
+class AffinityLostError(RuntimeError):
+    """An affinity-pinned task lost the worker holding its state.
+
+    Pinned tasks are never retried on another worker — the whole point
+    of the pin is process-local state (e.g. a live simulation partition)
+    that a fresh worker does not have. Callers catch this and restart
+    the stateful computation from scratch (typically serially).
+    """
+
+
 class _Item:
     """One submitted task and its bookkeeping."""
 
     __slots__ = (
         "seq", "fn", "args", "future", "cost", "label",
         "env", "defaults", "attempts", "worker_pids", "t_send",
+        "affinity",
     )
 
-    def __init__(self, seq, fn, args, cost, label, env, defaults):
+    def __init__(self, seq, fn, args, cost, label, env, defaults,
+                 affinity=None):
         self.seq = seq
         self.fn = fn
         self.args = args
@@ -310,6 +322,7 @@ class _Item:
         self.attempts = 0
         self.worker_pids: List[int] = []
         self.t_send = 0.0
+        self.affinity = affinity
 
     def report(self, error: str) -> Dict[str, Any]:
         """Structured quarantine report for a task the pool gave up on."""
@@ -362,6 +375,7 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._pending: List[Tuple[float, int, _Item]] = []
         self._items: Dict[int, _Item] = {}
+        self._affinity: Dict[str, _Worker] = {}
         self._workers: List[_Worker] = []
         self._kill: List[_Worker] = []
         self._target = 0
@@ -392,12 +406,24 @@ class WorkerPool:
         args: Tuple = (),
         cost: float = 0.0,
         label: Optional[str] = None,
+        affinity: Optional[str] = None,
     ) -> "Future[Tuple[Any, Dict[str, Any]]]":
-        """Queue one task; the future resolves to ``(value, stats)``."""
+        """Queue one task; the future resolves to ``(value, stats)``.
+
+        ``affinity`` pins every task sharing the key to one worker: the
+        key binds to a worker on first dispatch (idle worker with the
+        fewest existing bindings) and later tasks with the same key wait
+        for that specific worker. Pinned tasks are never retried
+        elsewhere — if the bound worker dies or the task raises, the
+        future fails (``AffinityLostError`` on death) because whatever
+        process-local state the pin protected is gone. Callers release
+        pins with :meth:`release_affinity` when the stateful run ends.
+        """
         item = _Item(
             next(self._seq), fn, tuple(args), cost,
             label or getattr(fn, "__name__", "task"),
             _propagated_env(), engines.default_engines(),
+            affinity=affinity,
         )
         with self._lock:
             if self._closed:
@@ -554,36 +580,72 @@ class WorkerPool:
             with self._lock:
                 self._workers.append(worker)
 
+    def _bind_affinity(self, key: str) -> Optional[_Worker]:
+        """Bind ``key`` to the idle worker with the fewest pins (locked)."""
+        idle = [w for w in self._workers if w.item is None]
+        if not idle:
+            return None
+        loads: Dict[int, int] = {}
+        for bound in self._affinity.values():
+            loads[id(bound)] = loads.get(id(bound), 0) + 1
+        worker = min(idle, key=lambda w: loads.get(id(w), 0))
+        self._affinity[key] = worker
+        return worker
+
+    def release_affinity(self, prefix: str) -> None:
+        """Drop every affinity binding whose key starts with ``prefix``."""
+        with self._lock:
+            for key in [k for k in self._affinity if k.startswith(prefix)]:
+                del self._affinity[key]
+
     def _assign_pending(self) -> None:
-        while True:
-            with self._lock:
-                idle = next(
-                    (w for w in self._workers if w.item is None), None
-                )
-                item = None
-                while self._pending:
-                    _, _, candidate = heapq.heappop(self._pending)
-                    if not candidate.future.cancelled():
-                        item = candidate
-                        break
-                    self._items.pop(candidate.seq, None)
-                if item is None:
-                    return
-                if idle is None:
-                    heapq.heappush(
-                        self._pending, (-item.cost, item.seq, item)
-                    )
-                    return
-                idle.item = item
-            item.attempts += 1
-            item.t_send = time.monotonic()
-            try:
-                idle.conn.send((
-                    "task", item.seq, item.t_send,
-                    item.env, item.defaults, item.fn, item.args,
-                ))
-            except (BrokenPipeError, OSError):
-                self._on_death(idle)
+        deferred: List[_Item] = []
+        try:
+            while True:
+                with self._lock:
+                    item = None
+                    while self._pending:
+                        _, _, candidate = heapq.heappop(self._pending)
+                        if not candidate.future.cancelled():
+                            item = candidate
+                            break
+                        self._items.pop(candidate.seq, None)
+                    if item is None:
+                        return
+                    if item.affinity is not None:
+                        idle = self._affinity.get(item.affinity)
+                        if idle is None or idle not in self._workers:
+                            idle = self._bind_affinity(item.affinity)
+                        if idle is None or idle.item is not None:
+                            # Bound worker busy (or none idle to bind):
+                            # park this task without blocking the rest.
+                            deferred.append(item)
+                            continue
+                    else:
+                        idle = next(
+                            (w for w in self._workers if w.item is None),
+                            None,
+                        )
+                        if idle is None:
+                            deferred.append(item)
+                            return
+                    idle.item = item
+                item.attempts += 1
+                item.t_send = time.monotonic()
+                try:
+                    idle.conn.send((
+                        "task", item.seq, item.t_send,
+                        item.env, item.defaults, item.fn, item.args,
+                    ))
+                except (BrokenPipeError, OSError):
+                    self._on_death(idle)
+        finally:
+            if deferred:
+                with self._lock:
+                    for item in deferred:
+                        heapq.heappush(
+                            self._pending, (-item.cost, item.seq, item)
+                        )
 
     def _on_readable(self, worker: _Worker) -> None:
         from repro import wire
@@ -616,7 +678,7 @@ class WorkerPool:
             _settle(item.future, (value, stats))
         else:
             error_repr = stats.get("error", "unknown worker error")
-            if item.attempts < MAX_POOL_ATTEMPTS:
+            if item.attempts < MAX_POOL_ATTEMPTS and item.affinity is None:
                 _warn(
                     f"{item.label} failed in worker ({error_repr}); retrying"
                 )
@@ -637,11 +699,17 @@ class WorkerPool:
                 _settle(item.future, error=exc)
         self._maybe_recycle(worker)
 
+    def _drop_affinity_for(self, worker: _Worker) -> None:
+        """Unbind every pin held by a departing worker (locked)."""
+        for key in [k for k, w in self._affinity.items() if w is worker]:
+            del self._affinity[key]
+
     def _on_death(self, worker: _Worker) -> None:
         with self._lock:
             if worker not in self._workers:
                 return
             self._workers.remove(worker)
+            self._drop_affinity_for(worker)
             item, worker.item = worker.item, None
         try:
             worker.conn.close()
@@ -653,7 +721,13 @@ class WorkerPool:
         pid = worker.proc.pid or -1
         item.worker_pids.append(pid)
         error = f"worker process {pid} died while running {item.label}"
-        if item.attempts < MAX_POOL_ATTEMPTS:
+        if item.affinity is not None:
+            exc = AffinityLostError(error)
+            exc.worker_report = item.report(error)
+            with self._lock:
+                self._items.pop(item.seq, None)
+            _settle(item.future, error=exc)
+        elif item.attempts < MAX_POOL_ATTEMPTS:
             _warn(f"{error}; retrying")
             with self._lock:
                 heapq.heappush(self._pending, (-item.cost, item.seq, item))
@@ -665,10 +739,13 @@ class WorkerPool:
             _settle(item.future, error=exc)
 
     def _maybe_recycle(self, worker: _Worker) -> None:
+        with self._lock:
+            pinned = any(w is worker for w in self._affinity.values())
         if (
             self._recycle_after is not None
             and worker.done_count >= self._recycle_after
             and worker.item is None
+            and not pinned
         ):
             self._terminate_worker(worker, requeue=False, graceful=True)
 
@@ -678,9 +755,19 @@ class WorkerPool:
         with self._lock:
             if worker in self._workers:
                 self._workers.remove(worker)
+            self._drop_affinity_for(worker)
             item, worker.item = worker.item, None
             if requeue and item is not None and not item.future.cancelled():
-                heapq.heappush(self._pending, (-item.cost, item.seq, item))
+                if item.affinity is not None:
+                    self._items.pop(item.seq, None)
+                    _settle(item.future, error=AffinityLostError(
+                        f"worker terminated while running {item.label}"
+                    ))
+                    item = None
+                else:
+                    heapq.heappush(
+                        self._pending, (-item.cost, item.seq, item)
+                    )
         try:
             if graceful:
                 worker.conn.send(("stop",))
@@ -701,6 +788,7 @@ class WorkerPool:
             workers, self._workers = self._workers, []
             items, self._items = list(self._items.values()), {}
             self._pending = []
+            self._affinity = {}
         for worker in workers:
             self._terminate_worker(worker, requeue=False)
         for item in items:

@@ -15,7 +15,9 @@ Endpoints (see ``docs/serve.md`` for the full schema reference):
 * ``POST /v1/simulate``  — :class:`repro.api.SimQuery` fields; with
   ``telemetry: true`` and ``?stream=1`` the response is chunked
   ``application/x-ndjson``, one telemetry event per finished load
-  point and a terminal ``result`` event.
+  point and a terminal ``result`` event;
+* ``POST /v1/dcn``       — :class:`repro.api.DCNQuery` fields (a
+  partitioned multi-wafer DCN run, see docs/dcn.md).
 """
 
 from __future__ import annotations
@@ -180,7 +182,12 @@ class ServeServer:
         self, path: str, body: bytes
     ) -> Tuple[Any, Optional[Dict[str, Any]]]:
         """JSON-decode the body and imply ``kind`` from the route."""
-        kinds = {"/v1/design": "design", "/v1/sweep": "sweep", "/v1/simulate": "simulate"}
+        kinds = {
+            "/v1/design": "design",
+            "/v1/sweep": "sweep",
+            "/v1/simulate": "simulate",
+            "/v1/dcn": "dcn",
+        }
         if path not in kinds and path != "/v1/query":
             return None, error_body(404, "NotFound", f"no route POST {path}")
         try:

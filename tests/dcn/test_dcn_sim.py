@@ -1,0 +1,154 @@
+"""End-to-end DCN runs: parity, epoch invariance, conservation, API."""
+
+import pytest
+
+from repro.api import DCNQuery, QueryError, execute
+from repro.dcn import DCNConfig, DCNShape, FailureConfig, run_dcn
+from repro.parallel import shutdown_shared_executor
+
+GOLDEN = DCNConfig(
+    shape=DCNShape(
+        n_hosts=16, wafer_radix=16, ssc_radix=8, back_to_back=True
+    ),
+    pattern="uniform",
+    duration_cycles=96,
+    load=0.06,
+    traffic_seed=2,
+)
+
+SPINED = DCNConfig(
+    shape=DCNShape(n_hosts=32, wafer_radix=16, ssc_radix=8),
+    pattern="alltoall",
+    duration_cycles=64,
+    load=0.08,
+    traffic_seed=4,
+)
+
+
+def _outcome(result):
+    """The physical outcome a run must reproduce regardless of epoching."""
+    return (
+        result.latencies,
+        result.flits_offered,
+        result.flits_delivered,
+        result.packets_delivered,
+        result.per_wafer,
+    )
+
+
+def test_golden_two_wafer_pool_matches_serial_bit_for_bit():
+    serial = run_dcn(GOLDEN, executor="serial")
+    try:
+        pool = run_dcn(GOLDEN, executor="pool", jobs=2)
+    finally:
+        shutdown_shared_executor()
+    assert serial.n_wafers == 2
+    assert not serial.truncated and not pool.truncated
+    assert serial.packets_delivered > 0
+    assert serial.parity_signature() == pool.parity_signature()
+
+
+def test_lookahead_sweep_is_outcome_invariant():
+    import dataclasses
+
+    reference = run_dcn(GOLDEN, executor="serial")
+    for lookahead in (5, 13, 40):
+        probe = run_dcn(
+            dataclasses.replace(GOLDEN, lookahead=lookahead),
+            executor="serial",
+        )
+        assert probe.epoch_cycles == lookahead
+        assert _outcome(probe) == _outcome(reference)
+    # More barriers for the same simulated span.
+    assert (
+        run_dcn(
+            dataclasses.replace(GOLDEN, lookahead=5), executor="serial"
+        ).epochs
+        > reference.epochs
+    )
+
+
+def test_scalar_engine_reproduces_fast_outcome():
+    import dataclasses
+
+    fast = run_dcn(GOLDEN, executor="serial")
+    scalar = run_dcn(
+        dataclasses.replace(GOLDEN, engine="scalar"), executor="serial"
+    )
+    assert scalar.engine == "scalar"
+    assert fast.engine != "scalar"
+    assert _outcome(scalar) == _outcome(fast)
+
+
+def test_spined_run_conserves_flits_and_drains():
+    result = run_dcn(SPINED, executor="serial")
+    assert result.n_wafers == 6
+    assert not result.truncated
+    assert result.packets_delivered == result.packets_routed > 0
+    assert result.flits_delivered == result.flits_offered
+    assert all(c["inflight"] == 0 for c in result.per_wafer)
+
+
+def test_failed_link_run_conserves_flits():
+    import dataclasses
+
+    config = dataclasses.replace(
+        SPINED,
+        failures=FailureConfig(
+            seed=11, ssc_area_mm2=400.0, link_failure_prob=0.2
+        ),
+    )
+    result = run_dcn(config, executor="serial")
+    assert result.dead_sscs + result.dead_links > 0
+    assert not result.truncated
+    # Unroutable packets are dropped at the plan stage; everything that
+    # entered a wafer must come out.
+    assert result.flits_delivered == result.flits_offered
+    assert result.packets_delivered == result.packets_routed
+    # Same failure seed, same run, bit for bit.
+    again = run_dcn(config, executor="serial")
+    assert again.parity_signature() == result.parity_signature()
+
+
+def test_bad_lookahead_rejected():
+    import dataclasses
+
+    with pytest.raises(ValueError):
+        dataclasses.replace(GOLDEN, lookahead=41)  # > inter_wafer_latency
+
+
+def test_dcn_query_roundtrip():
+    query = DCNQuery(
+        hosts=16,
+        wafer_radix=16,
+        back_to_back=True,
+        duration_cycles=48,
+        load=0.06,
+        seed=2,
+    )
+    result = execute(query)["result"]
+    assert result["n_wafers"] == 2
+    assert result["executor"] == "serial"
+    assert result["packets_delivered"] > 0
+    assert result["latency"]["count"] == result["packets_delivered"]
+
+
+def test_dcn_query_failure_injection():
+    query = DCNQuery(
+        hosts=32,
+        duration_cycles=32,
+        failure_seed=7,
+        ssc_area_mm2=400.0,
+        link_failure_prob=0.2,
+    )
+    result = execute(query)["result"]
+    assert result["dead_sscs"] + result["dead_links"] > 0
+
+
+def test_dcn_query_validation():
+    with pytest.raises(QueryError):
+        execute(DCNQuery(pattern="bogus"))
+    with pytest.raises(QueryError):
+        execute(DCNQuery(executor="threads"))
+    with pytest.raises(QueryError):
+        execute(DCNQuery(hosts=24))  # not a wafer_radix multiple
