@@ -147,6 +147,13 @@ class DCNQuery:
     not open nested pools.  Direct callers wanting partition-level
     parallelism pass ``"pool"`` (or ``"auto"``).  ``failure_seed < 0``
     disables failure injection entirely.
+
+    ``fidelity`` selects the rung of the fidelity ladder
+    (docs/dcn_scale.md): ``"cycle"`` holds every wafer cycle-accurate,
+    ``"flow"`` models every wafer as a calibrated queueing node (the
+    only tractable mode at the paper's Tables VII–IX scale), and
+    ``"hybrid"`` keeps ``cycle_wafers`` cycle-accurate while the rest
+    run flow-level, stitched at the same epoch barrier.
     """
 
     hosts: int = 16
@@ -166,8 +173,15 @@ class DCNQuery:
     ssc_area_mm2: float = 25.0
     link_failure_prob: float = 0.0
     executor: str = "serial"
+    fidelity: str = "cycle"
+    cycle_wafers: Tuple[int, ...] = ()
 
     kind = "dcn"
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "cycle_wafers", tuple(int(w) for w in self.cycle_wafers)
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return _query_to_dict(self)
@@ -440,12 +454,16 @@ def _execute_sim(
 
 def _execute_dcn(query: DCNQuery, engine: str) -> Dict[str, Any]:
     from repro.dcn import DCNConfig, DCNShape, FailureConfig, run_dcn
-    from repro.dcn.sim import EXECUTORS
+    from repro.dcn.sim import EXECUTORS, FIDELITIES
     from repro.dcn.traffic import PATTERNS
 
     if query.executor not in EXECUTORS:
         raise QueryError(
             f"unknown executor {query.executor!r}; choose from {EXECUTORS}"
+        )
+    if query.fidelity not in FIDELITIES:
+        raise QueryError(
+            f"unknown fidelity {query.fidelity!r}; choose from {FIDELITIES}"
         )
     if query.pattern not in PATTERNS:
         raise QueryError(
@@ -481,6 +499,8 @@ def _execute_dcn(query: DCNQuery, engine: str) -> Dict[str, Any]:
             lookahead=query.lookahead,
             failures=failures,
             engine=engine,
+            fidelity=query.fidelity,
+            cycle_wafers=query.cycle_wafers,
         )
     except ValueError as exc:
         raise QueryError(f"bad dcn query: {exc}") from exc

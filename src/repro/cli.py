@@ -160,12 +160,25 @@ def _cmd_dcn(args: argparse.Namespace) -> int:
         failure_seed=args.failure_seed,
         link_failure_prob=args.link_failure_prob,
         executor=args.executor,
+        fidelity=args.fidelity,
+        cycle_wafers=tuple(
+            int(w) for w in args.cycle_wafers.split(",") if w.strip()
+        ),
     )
     response = execute(query, engine=args.engine)
     result = response["result"]
+    fidelity = result["fidelity"]
+    if fidelity == "cycle":
+        fidelity_note = ""
+    else:
+        fidelity_note = (
+            f", fidelity={fidelity} "
+            f"({result['cycle_accurate_wafers']}/{result['n_wafers']} "
+            "wafers cycle-accurate)"
+        )
     print(
         f"dcn: {result['n_wafers']} wafers, executor={result['executor']}, "
-        f"engine={result['engine']}"
+        f"engine={result['engine']}{fidelity_note}"
     )
     print(
         f"  packets {result['packets_delivered']}/{result['packets_created']}"
@@ -353,7 +366,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dcn.add_argument(
         "--pattern",
-        choices=("uniform", "alltoall", "incast", "elephant_mouse"),
+        choices=(
+            "uniform", "alltoall", "incast", "elephant_mouse",
+            "dp_allreduce", "pp_stages", "tp_burst",
+        ),
         default="uniform",
     )
     dcn.add_argument("--duration", type=int, default=128)
@@ -382,6 +398,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dcn.add_argument(
         "--engine", choices=("auto", "c", "numpy", "scalar"), default="auto"
+    )
+    dcn.add_argument(
+        "--fidelity",
+        choices=("cycle", "flow", "hybrid"),
+        default="cycle",
+        help="cycle = every wafer cycle-accurate; flow = calibrated "
+        "queueing nodes (paper-scale fabrics); hybrid = --cycle-wafers "
+        "stay cycle-accurate, the rest flow-level",
+    )
+    dcn.add_argument(
+        "--cycle-wafers",
+        default="",
+        metavar="W0,W1,...",
+        help="comma-separated wafer indices kept cycle-accurate under "
+        "--fidelity hybrid (default: wafer 0)",
     )
     dcn.add_argument(
         "--json", default=None, metavar="OUT.json",

@@ -8,6 +8,7 @@ barrier — see :mod:`repro.dcn.sim` and docs/dcn.md.
 
 from repro.dcn.fabric import DCNFabric, DCNRouteError, DCNShape
 from repro.dcn.failures import DCNFailures, FailureConfig, sample_failures
+from repro.dcn.flow import FlowWaferNode, ServiceCurve, calibrate_wafer
 from repro.dcn.sim import DCNConfig, DCNResult, run_dcn
 
 __all__ = [
@@ -18,6 +19,9 @@ __all__ = [
     "DCNRouteError",
     "DCNShape",
     "FailureConfig",
+    "FlowWaferNode",
+    "ServiceCurve",
+    "calibrate_wafer",
     "run_dcn",
     "sample_failures",
 ]

@@ -1,0 +1,394 @@
+"""Flow-level inter-wafer fidelity: wafers as calibrated queueing nodes.
+
+The cycle-accurate partitioned simulator (:mod:`repro.dcn.sim`) holds
+every wafer's full router state live — exact, but bounded to tens of
+wafers.  The paper's Tables VII–IX fabrics are *hundreds* of
+radix-600+ wafers, so this module adds the next rung of the fidelity
+ladder: model each wafer as a **calibrated queueing node** and each
+inter-wafer link as a fluid flow, and simulate only the inter-wafer
+dynamics.
+
+The contract that makes the ladder stitch together:
+:class:`FlowWaferNode` implements the *same epoch-driver interface*
+as :class:`repro.netsim.partition.WaferPartition` — ``enqueue()``,
+``advance(to_cycle)`` returning a lexsorted delivery bundle plus a
+counters dict.  The epoch-barrier coordinator in
+:mod:`repro.dcn.sim` therefore runs unmodified over any mix of
+cycle-accurate partitions and flow nodes; *hybrid* fidelity is just a
+per-wafer choice of node class.
+
+**Calibration.**  A :class:`ServiceCurve` is fitted from short
+cycle-accurate probe runs on one pristine wafer
+(:func:`repro.netsim.partition.calibration_probe`): mean traversal
+latency at several offered loads, plus the delivered-throughput
+capacity at a saturating load.  Curves are cached as JSON under the
+shared content-addressed cache root
+(``.repro_cache/dcn/curve-<key>.json``), keyed on the wafer's
+geometry, the probe parameters, *and* the transitive source
+fingerprint of this module — edit the simulator and every curve
+recalibrates, exactly like the experiment result cache.
+
+**The flow model.**  For a packet entering a flow node at cycle ``c``
+with ``size`` flits toward exit terminal ``x``:
+
+* fabric traversal takes ``latency(u)`` cycles — the service curve
+  interpolated at the node's offered utilization ``u`` this epoch;
+* the exit link serializes at 1 flit/cycle: consecutive packets to
+  the same exit queue FIFO behind each other (per-exit virtual
+  finish times — this is max-min sharing of each egress link, since
+  every competing packet's share degrades equally as the queue
+  grows);
+* the wafer as a whole serves at most ``capacity`` flits/cycle (the
+  calibrated saturation throughput): a wafer-wide virtual time
+  advances ``size/capacity`` per packet, delaying everything behind
+  it once the aggregate is oversubscribed.
+
+All arithmetic is evaluated in deterministic event order, so a flow
+run is a pure function of ``(shape, traffic, seed, fidelity)`` — the
+determinism tests in ``tests/dcn/test_flow.py`` pin this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import paths
+from repro.fingerprint import source_fingerprint, transitive_modules
+from repro.netsim.network import waferscale_clos_network
+from repro.netsim.partition import Event, calibration_probe
+
+#: Offered loads (flits/terminal/cycle) probed for the latency curve.
+PROBE_LOADS: Tuple[float, ...] = (0.02, 0.1, 0.2, 0.35)
+
+#: Saturating load probed for the capacity estimate.
+SATURATION_LOAD: float = 0.9
+
+#: Injection window of each probe run, in cycles.
+PROBE_CYCLES: int = 384
+
+#: RNG seed of the probe traffic (part of the cache key).
+PROBE_SEED: int = 7
+
+
+@dataclass(frozen=True)
+class ServiceCurve:
+    """One wafer class's fitted service behaviour.
+
+    ``loads``/``latencies`` are the probe samples (offered flits per
+    terminal per cycle → mean traversal latency in cycles);
+    ``capacity_flits_per_cycle`` is the wafer-wide delivered
+    throughput at the saturating probe load.
+    """
+
+    wafer_terminals: int
+    ssc_radix: int
+    loads: Tuple[float, ...]
+    latencies: Tuple[float, ...]
+    capacity_flits_per_cycle: float
+
+    def latency_at(self, utilization: float) -> float:
+        """Piecewise-linear interpolation of the probed latency curve.
+
+        Clamped at both ends: below the lightest probe the zero-load
+        latency applies, beyond the heaviest the curve stays flat and
+        the capacity clamp in :class:`FlowWaferNode` models the
+        queueing growth instead.
+        """
+        loads, lats = self.loads, self.latencies
+        if utilization <= loads[0]:
+            return lats[0]
+        for i in range(1, len(loads)):
+            if utilization <= loads[i]:
+                span = loads[i] - loads[i - 1]
+                frac = (utilization - loads[i - 1]) / span
+                return lats[i - 1] + frac * (lats[i] - lats[i - 1])
+        return lats[-1]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "wafer_terminals": self.wafer_terminals,
+            "ssc_radix": self.ssc_radix,
+            "loads": list(self.loads),
+            "latencies": list(self.latencies),
+            "capacity_flits_per_cycle": self.capacity_flits_per_cycle,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ServiceCurve":
+        return cls(
+            wafer_terminals=int(payload["wafer_terminals"]),
+            ssc_radix=int(payload["ssc_radix"]),
+            loads=tuple(float(x) for x in payload["loads"]),
+            latencies=tuple(float(x) for x in payload["latencies"]),
+            capacity_flits_per_cycle=float(
+                payload["capacity_flits_per_cycle"]
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Calibration (content-addressed cache)
+# ----------------------------------------------------------------------
+
+def _curve_cache_key(
+    wafer_terminals: int,
+    ssc_radix: int,
+    num_vcs: int,
+    buffer_flits: int,
+    size_flits: int,
+) -> str:
+    payload = {
+        "wafer_terminals": wafer_terminals,
+        "ssc_radix": ssc_radix,
+        "num_vcs": num_vcs,
+        "buffer_flits": buffer_flits,
+        "size_flits": size_flits,
+        "probe_loads": list(PROBE_LOADS),
+        "saturation_load": SATURATION_LOAD,
+        "probe_cycles": PROBE_CYCLES,
+        "probe_seed": PROBE_SEED,
+        "sources": source_fingerprint(transitive_modules("repro.dcn.flow")),
+    }
+    canonical = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(canonical).hexdigest()[:24]
+
+
+def curve_cache_path(key: str, root=None):
+    """On-disk location of one calibrated curve entry."""
+    return paths.cache_root(root) / "dcn" / f"curve-{key}.json"
+
+
+def calibrate_wafer(
+    wafer_terminals: int,
+    ssc_radix: int,
+    num_vcs: int = 4,
+    buffer_flits: int = 16,
+    size_flits: int = 4,
+    engine: str = "auto",
+    cache: bool = True,
+    cache_root=None,
+) -> ServiceCurve:
+    """Fit (or fetch) the service curve of one wafer class.
+
+    Runs ``len(PROBE_LOADS) + 1`` short cycle-accurate probe runs on a
+    pristine wafer of this geometry and caches the fitted curve under
+    the content-addressed cache root.  A warm call is a single JSON
+    read; the cache invalidates automatically when any transitively
+    imported ``repro`` source changes.
+    """
+    key = _curve_cache_key(
+        wafer_terminals, ssc_radix, num_vcs, buffer_flits, size_flits
+    )
+    path = curve_cache_path(key, cache_root)
+    if cache and path.exists():
+        try:
+            return ServiceCurve.from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, TypeError):
+            pass  # corrupt entry: fall through and recalibrate
+
+    def build():
+        return waferscale_clos_network(
+            wafer_terminals,
+            ssc_radix,
+            num_vcs=num_vcs,
+            buffer_flits_per_port=buffer_flits,
+        )
+
+    latencies = []
+    for load in PROBE_LOADS:
+        probe = calibration_probe(
+            build(),
+            load,
+            PROBE_CYCLES,
+            seed=PROBE_SEED,
+            size_flits=size_flits,
+            engine=engine,
+        )
+        latencies.append(max(1.0, probe["mean_latency"]))
+    saturation = calibration_probe(
+        build(),
+        SATURATION_LOAD,
+        PROBE_CYCLES,
+        seed=PROBE_SEED,
+        size_flits=size_flits,
+        engine=engine,
+    )
+    curve = ServiceCurve(
+        wafer_terminals=wafer_terminals,
+        ssc_radix=ssc_radix,
+        loads=PROBE_LOADS,
+        latencies=tuple(latencies),
+        capacity_flits_per_cycle=max(
+            1.0, saturation["delivered_flits_per_cycle"]
+        ),
+    )
+    if cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(curve.to_dict(), sort_keys=True) + "\n")
+        tmp.replace(path)
+    return curve
+
+
+def curves_for_shape(
+    shape, engine: str = "auto", cache: bool = True, cache_root=None
+) -> Dict[str, ServiceCurve]:
+    """Leaf and (if distinct) spine service curves for a DCN shape."""
+    curves = {
+        "leaf": calibrate_wafer(
+            shape.wafer_terminals,
+            shape.ssc_radix,
+            num_vcs=shape.num_vcs,
+            buffer_flits=shape.buffer_flits,
+            engine=engine,
+            cache=cache,
+            cache_root=cache_root,
+        )
+    }
+    spine_radix = shape.spine_ssc_radix or shape.ssc_radix
+    if spine_radix == shape.ssc_radix:
+        curves["spine"] = curves["leaf"]
+    else:
+        curves["spine"] = calibrate_wafer(
+            shape.wafer_terminals,
+            spine_radix,
+            num_vcs=shape.num_vcs,
+            buffer_flits=shape.buffer_flits,
+            engine=engine,
+            cache=cache,
+            cache_root=cache_root,
+        )
+    return curves
+
+
+# ----------------------------------------------------------------------
+# The flow node
+# ----------------------------------------------------------------------
+
+class FlowWaferNode:
+    """One wafer as a calibrated queueing node.
+
+    Same epoch-driver surface as
+    :class:`~repro.netsim.partition.WaferPartition`: ``enqueue()``
+    sorted future events, ``advance(to_cycle)`` a lexsorted delivery
+    bundle + counters.  No router state exists — deliveries are
+    computed from the service curve, per-exit egress queues, and the
+    wafer-wide capacity clamp, all in deterministic event order.
+    """
+
+    engine_name = "flow"
+
+    def __init__(self, curve: ServiceCurve, n_terminals: int):
+        self.curve = curve
+        self.n_terminals = n_terminals
+        self.cycle = 0
+        self._sched: deque = deque()
+        #: min-heap of (arrive, exit_terminal, tag, size_flits)
+        self._inflight: List[Tuple[int, int, int, int]] = []
+        self._inflight_flits = 0
+        #: per-exit virtual finish time of the egress link (1 flit/cy)
+        self._exit_free: Dict[int, float] = {}
+        #: wafer-wide virtual time of the aggregate service capacity
+        self._agg_time = 0.0
+        self.offered_flits = 0
+        self.offered_packets = 0
+        self.delivered_flits = 0
+        self.delivered_packets = 0
+
+    @property
+    def inflight_flits(self) -> int:
+        return self._inflight_flits
+
+    def enqueue(self, events: List[Event]) -> None:
+        """Same contract as ``WaferPartition.enqueue``."""
+        if not events:
+            return
+        if events[0][0] < self.cycle:
+            raise ValueError(
+                f"event {events[0]} scheduled before cycle {self.cycle}"
+            )
+        for earlier, later in zip(events, events[1:]):
+            if later < earlier:
+                raise ValueError(f"events not sorted at {later}")
+        if self._sched and events[0] < self._sched[-1]:
+            raise ValueError("events overlap previously enqueued schedule")
+        self._sched.extend(events)
+
+    def advance(self, to_cycle: int):
+        """Model every event scheduled before ``to_cycle``; harvest.
+
+        Mirrors ``WaferPartition.advance``: consumes events with
+        ``cycle < to_cycle``, returns deliveries whose arrival is
+        strictly before ``to_cycle`` as int64 arrays lexsorted by
+        (arrival, terminal, tag), plus the counters dict.
+        """
+        span = max(1, to_cycle - self.cycle)
+        sched = self._sched
+        batch: List[Event] = []
+        while sched and sched[0][0] < to_cycle:
+            batch.append(sched.popleft())
+        if batch:
+            offered = sum(event[3] for event in batch)
+            utilization = offered / (self.n_terminals * span)
+            base = max(1.0, self.curve.latency_at(utilization))
+            capacity = self.curve.capacity_flits_per_cycle
+            for cycle, _entry, exit_term, size, tag in batch:
+                self.offered_flits += size
+                self.offered_packets += 1
+                # Wafer-wide capacity clamp (fluid service).
+                self._agg_time = (
+                    max(self._agg_time, float(cycle)) + size / capacity
+                )
+                # Fabric traversal, then FIFO egress serialization.
+                ready = cycle + base
+                start = max(ready, self._exit_free.get(exit_term, 0.0))
+                arrive = max(
+                    int(math.ceil(start)), int(math.ceil(self._agg_time))
+                )
+                if arrive <= cycle:
+                    arrive = cycle + 1
+                self._exit_free[exit_term] = max(
+                    start + size, float(arrive)
+                )
+                heappush(
+                    self._inflight, (arrive, exit_term, tag, size)
+                )
+                self._inflight_flits += size
+        self.cycle = to_cycle
+        return (*self._harvest(to_cycle), self.counters())
+
+    def _harvest(self, to_cycle: int):
+        terms: List[int] = []
+        tags: List[int] = []
+        arrives: List[int] = []
+        inflight = self._inflight
+        while inflight and inflight[0][0] < to_cycle:
+            arrive, term, tag, size = heappop(inflight)
+            arrives.append(arrive)
+            terms.append(term)
+            tags.append(tag)
+            self._inflight_flits -= size
+            self.delivered_flits += size
+            self.delivered_packets += 1
+        return (
+            np.asarray(terms, dtype=np.int64),
+            np.asarray(tags, dtype=np.int64),
+            np.asarray(arrives, dtype=np.int64),
+        )
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "inflight": self._inflight_flits,
+            "offered_flits": self.offered_flits,
+            "offered_packets": self.offered_packets,
+            "delivered_flits": self.delivered_flits,
+            "delivered_packets": self.delivered_packets,
+        }

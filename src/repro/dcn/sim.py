@@ -26,6 +26,24 @@ that.  If a pinned worker dies mid-run
 (:class:`~repro.parallel.AffinityLostError`), its in-process partition
 state is unrecoverable; ``executor="auto"`` restarts the whole run on
 the serial path instead.
+
+**Fidelity ladder** (``DCNConfig.fidelity``, see docs/dcn_scale.md):
+
+* ``"cycle"`` — every wafer a cycle-accurate :class:`WaferPartition`
+  (the default; everything above applies unchanged);
+* ``"flow"`` — every wafer a calibrated
+  :class:`~repro.dcn.flow.FlowWaferNode`, service curves fitted from
+  short cycle-accurate probes and cached.  Hundreds of wafers finish
+  in minutes;
+* ``"hybrid"`` — ``cycle_wafers`` stay cycle-accurate (on the warm
+  pool under ``executor="pool"``), the rest run flow-level, stitched
+  at the same epoch barrier — the barrier argument never references
+  *how* a wafer simulates its epoch, so mixing node types is exact
+  with respect to causality.
+
+Flow nodes always live in the coordinator process (they are cheap
+bookkeeping, not simulations); only cycle-accurate partitions are ever
+dispatched to pool workers.
 """
 
 from __future__ import annotations
@@ -41,6 +59,7 @@ from repro import wire
 from repro.dcn import traffic as dcn_traffic
 from repro.dcn.fabric import DCNFabric, DCNRouteError, DCNShape
 from repro.dcn.failures import DCNFailures, FailureConfig, sample_failures
+from repro.dcn.flow import FlowWaferNode, curves_for_shape
 from repro.netsim.partition import WaferPartition
 from repro.parallel import (
     AffinityLostError,
@@ -49,6 +68,7 @@ from repro.parallel import (
 )
 
 EXECUTORS = ("auto", "serial", "pool")
+FIDELITIES = ("cycle", "flow", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -70,6 +90,13 @@ class DCNConfig:
     max_cycles: int = 0
     failures: Optional[FailureConfig] = None
     engine: str = "auto"
+    #: ``cycle`` (all wafers cycle-accurate), ``flow`` (all wafers
+    #: calibrated queueing nodes), or ``hybrid`` (``cycle_wafers``
+    #: cycle-accurate, the rest flow-level).
+    fidelity: str = "cycle"
+    #: Wafer indices kept cycle-accurate under ``fidelity="hybrid"``;
+    #: empty defaults to wafer 0.  Must be empty for other fidelities.
+    cycle_wafers: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.lookahead < 0 or self.lookahead > self.shape.inter_wafer_latency:
@@ -77,6 +104,34 @@ class DCNConfig:
                 "lookahead must be in [1, inter_wafer_latency] "
                 f"(got {self.lookahead}, max {self.shape.inter_wafer_latency})"
             )
+        if self.fidelity not in FIDELITIES:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITIES} "
+                f"(got {self.fidelity!r})"
+            )
+        wafers = tuple(sorted(set(int(w) for w in self.cycle_wafers)))
+        if self.fidelity != "hybrid":
+            if wafers:
+                raise ValueError(
+                    "cycle_wafers only applies to fidelity='hybrid'"
+                )
+        else:
+            if not wafers:
+                wafers = (0,)
+            if wafers[0] < 0 or wafers[-1] >= self.shape.n_wafers:
+                raise ValueError(
+                    f"cycle_wafers {wafers} out of range "
+                    f"[0, {self.shape.n_wafers})"
+                )
+        object.__setattr__(self, "cycle_wafers", wafers)
+
+    def cycle_accurate_wafers(self) -> frozenset:
+        """The wafer indices simulated cycle-accurately."""
+        if self.fidelity == "cycle":
+            return frozenset(range(self.shape.n_wafers))
+        if self.fidelity == "flow":
+            return frozenset()
+        return frozenset(self.cycle_wafers)
 
     @property
     def epoch_cycles(self) -> int:
@@ -95,10 +150,16 @@ class DCNResult:
 
     executor: str
     engine: str
+    fidelity: str
     n_wafers: int
+    cycle_accurate_wafers: int
     epochs: int
     epoch_cycles: int
     cycles: int
+    #: Last delivery cycle across the whole fabric (0 if nothing
+    #: delivered) — the denominator for end-to-end throughput, immune
+    #: to epoch quantization of the drain tail.
+    makespan: int
     packets_created: int
     packets_routed: int
     packets_dropped_unroutable: int
@@ -141,8 +202,9 @@ class DCNResult:
         summary = {
             name: getattr(self, name)
             for name in (
-                "executor", "engine", "n_wafers", "epochs", "epoch_cycles",
-                "cycles", "packets_created", "packets_routed",
+                "executor", "engine", "fidelity", "n_wafers",
+                "cycle_accurate_wafers", "epochs", "epoch_cycles",
+                "cycles", "makespan", "packets_created", "packets_routed",
                 "packets_dropped_unroutable", "packets_delivered",
                 "flits_offered", "flits_delivered", "truncated",
                 "wall_seconds", "dead_sscs", "dead_links",
@@ -150,6 +212,11 @@ class DCNResult:
         }
         summary["latency"] = self.latency_stats()
         summary["latency_sum"] = sum(l for l in self.latencies if l >= 0)
+        summary["delivered_throughput"] = (
+            round(self.flits_delivered / self.makespan, 6)
+            if self.makespan
+            else 0.0
+        )
         summary["per_wafer"] = self.per_wafer
         return summary
 
@@ -159,7 +226,7 @@ class DCNResult:
 # ----------------------------------------------------------------------
 
 class _Plan:
-    """Fabric + routed traffic, computed once per run."""
+    """Fabric + routed traffic (+ service curves), computed once per run."""
 
     def __init__(self, config: DCNConfig):
         self.config = config
@@ -185,6 +252,25 @@ class _Plan:
             except DCNRouteError:
                 self.routes.append(None)
                 self.dropped += 1
+        self.cycle_set = config.cycle_accurate_wafers()
+        #: Calibrated service curves (leaf/spine), only when some
+        #: wafer actually runs flow-level.
+        self.curves = (
+            curves_for_shape(config.shape, engine=config.engine)
+            if len(self.cycle_set) < config.shape.n_wafers
+            else None
+        )
+
+    def build_node(self, wafer: int):
+        """The epoch driver for one wafer at this plan's fidelity."""
+        if wafer in self.cycle_set:
+            return WaferPartition(
+                self.fabric.build_wafer(wafer), engine=self.config.engine
+            )
+        kind = "spine" if wafer >= self.config.shape.n_leaves else "leaf"
+        return FlowWaferNode(
+            self.curves[kind], self.config.shape.wafer_terminals
+        )
 
 
 # ----------------------------------------------------------------------
@@ -198,12 +284,14 @@ class _LocalBackend:
 
     def __init__(self, plan: _Plan):
         self.partitions = [
-            WaferPartition(
-                plan.fabric.build_wafer(w), engine=plan.config.engine
-            )
-            for w in range(plan.config.shape.n_wafers)
+            plan.build_node(w) for w in range(plan.config.shape.n_wafers)
         ]
-        self.engine = self.partitions[0].engine_name
+        cycle_nodes = [
+            self.partitions[w] for w in sorted(plan.cycle_set)
+        ]
+        self.engine = (
+            cycle_nodes[0].engine_name if cycle_nodes else "flow"
+        )
 
     def run_epoch(self, end: int, batches: Dict[int, list]):
         results = {}
@@ -262,14 +350,25 @@ def _encode_batch(events: list) -> bytes:
 
 
 class _PoolBackend:
-    """Each partition pinned to one warm pool worker via affinity keys."""
+    """Cycle-accurate partitions pinned to warm pool workers.
+
+    Flow-level nodes (flow/hybrid fidelity) always stay in the
+    coordinator process — they are cheap arithmetic over a few dicts,
+    and shipping them across the wire would cost more than running
+    them.  Only cycle-accurate wafers get worker sessions.
+    """
 
     name = "pool"
 
     def __init__(self, plan: _Plan, jobs: Optional[int] = None):
         config = plan.config
         self.run_id = f"dcn{os.getpid()}.{next(_RUN_IDS)}"
-        self.n_wafers = config.shape.n_wafers
+        self.cycle_wafers = sorted(plan.cycle_set)
+        self.local_nodes = {
+            w: plan.build_node(w)
+            for w in range(config.shape.n_wafers)
+            if w not in plan.cycle_set
+        }
         self.pool = shared_pool(jobs)
         try:
             opens = [
@@ -283,9 +382,9 @@ class _PoolBackend:
                     label=f"dcn-open:{w}",
                     affinity=f"{self.run_id}:{w}",
                 )
-                for w in range(self.n_wafers)
+                for w in self.cycle_wafers
             ]
-            self.engine = opens[0].result()[0]
+            self.engine = opens[0].result()[0] if opens else "flow"
             for future in opens[1:]:
                 future.result()
         except BaseException:
@@ -302,10 +401,17 @@ class _PoolBackend:
                 affinity=f"{self.run_id}:{wafer}",
             )
             for wafer, events in batches.items()
+            if wafer not in self.local_nodes
         }
-        return {
-            wafer: future.result()[0] for wafer, future in futures.items()
-        }
+        results = {}
+        for wafer, events in batches.items():
+            node = self.local_nodes.get(wafer)
+            if node is not None:
+                node.enqueue(events)
+                results[wafer] = node.advance(end)
+        for wafer, future in futures.items():
+            results[wafer] = future.result()[0]
+        return results
 
     def close(self) -> None:
         try:
@@ -316,7 +422,7 @@ class _PoolBackend:
                     label=f"dcn-close:{w}",
                     affinity=f"{self.run_id}:{w}",
                 )
-                for w in range(self.n_wafers)
+                for w in self.cycle_wafers
             ]
             for future in closes:
                 future.result()
@@ -362,6 +468,7 @@ def _run_epochs(plan: _Plan, backend) -> DCNResult:
         for _ in range(n_wafers)
     ]
     epoch = 0
+    makespan = 0
     truncated = False
     while any(pending) or any(inflight):
         start = epoch * epoch_cycles
@@ -403,6 +510,8 @@ def _run_epochs(plan: _Plan, backend) -> DCNResult:
                     )
                 if index == len(route) - 1:
                     latencies[dcn_id] = arrive - plan.events[dcn_id][0]
+                    if arrive > makespan:
+                        makespan = arrive
                     continue
                 hop[dcn_id] = index + 1
                 nxt = route[index + 1]
@@ -418,7 +527,10 @@ def _run_epochs(plan: _Plan, backend) -> DCNResult:
     return DCNResult(
         executor=backend.name,
         engine=backend.engine,
+        fidelity=config.fidelity,
         n_wafers=n_wafers,
+        cycle_accurate_wafers=len(plan.cycle_set),
+        makespan=makespan,
         epochs=epoch,
         epoch_cycles=epoch_cycles,
         cycles=epoch * epoch_cycles,
@@ -452,8 +564,12 @@ def run_dcn(
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}")
     plan = _Plan(config)
+    # Only cycle-accurate partitions benefit from the pool; a pure
+    # flow-level run is coordinator arithmetic and stays in-process.
     use_pool = executor == "pool" or (
-        executor == "auto" and effective_cpu_count() > 1
+        executor == "auto"
+        and effective_cpu_count() > 1
+        and bool(plan.cycle_set)
     )
     started = time.perf_counter()
     result = None

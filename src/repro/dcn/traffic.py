@@ -20,6 +20,24 @@ Patterns are the heavy-traffic scenarios the roadmap names:
   pattern that stresses egress buffering.
 * ``elephant_mouse`` — a few long-lived heavy flows (elephants) under
   a background of one-packet mice, the canonical DCN mix.
+
+The LLM-training patterns model the three parallelism axes of a
+distributed training job, à la Theseus (PAPERS.md) — the traffic the
+paper's Table VIII GPU-cluster fabric must serve:
+
+* ``dp_allreduce`` — data-parallel gradient synchronization: a ring
+  all-reduce over all hosts, each step every host sending one gradient
+  chunk to its ring successor; steps are staggered and paced by
+  ``load``.
+* ``pp_stages`` — pipeline parallelism: hosts split into contiguous
+  stages, rank ``r`` of stage ``k`` streaming activations
+  point-to-point to rank ``r`` of stage ``k+1``, one microbatch per
+  interval, skewed by stage depth exactly like a 1F1B schedule's
+  steady state.
+* ``tp_burst`` — tensor parallelism: small groups of neighbouring
+  hosts (TP degree 8) exchanging dense all-to-all bursts every
+  interval — mostly intra-leaf traffic that stresses a single wafer's
+  ingress rather than the spine tier.
 """
 
 from __future__ import annotations
@@ -29,7 +47,18 @@ from typing import List, Sequence, Tuple
 
 Event = Tuple[int, int, int, int]
 
-PATTERNS = ("uniform", "alltoall", "incast", "elephant_mouse")
+PATTERNS = (
+    "uniform",
+    "alltoall",
+    "incast",
+    "elephant_mouse",
+    "dp_allreduce",
+    "pp_stages",
+    "tp_burst",
+)
+
+#: Tensor-parallel group width for ``tp_burst`` (a typical TP degree).
+TP_DEGREE = 8
 
 
 def generate(
@@ -104,6 +133,83 @@ def _incast(hosts, duration, rng, load, size_flits):
                 continue
             events.append((cycle, src, hosts[victim], size_flits))
         round_index += 1
+    return events
+
+
+def _dp_allreduce(hosts, duration, rng, load, size_flits):
+    # Ring all-reduce: reduce-scatter + all-gather is 2(n-1) steps; in
+    # step s every host i sends one chunk to its ring successor.
+    # `load` paces the steps (one per 1/load cycles, min 1), and
+    # intra-step sends are staggered as in the collective patterns
+    # above so a step is a wave, not a single-cycle wall.
+    del rng
+    events = []
+    n = len(hosts)
+    interval = max(1, int(round(1.0 / max(load, 1e-9))))
+    for start in range(0, duration, interval):
+        for i, src in enumerate(hosts):
+            cycle = start + i % interval
+            if cycle >= duration:
+                continue
+            events.append((cycle, src, hosts[(i + 1) % n], size_flits))
+    return events
+
+
+def _pp_stages(hosts, duration, rng, load, size_flits):
+    # Pipeline stages: contiguous host blocks, rank r of stage k
+    # streams activations to rank r of stage k+1.  Microbatch m leaves
+    # stage k at cycle (m + k) * interval — the steady-state skew of a
+    # 1F1B schedule.  Activations are heavier than gradient chunks.
+    del rng
+    events = []
+    n = len(hosts)
+    n_stages = min(8, n)
+    ranks = n // n_stages
+    activation = size_flits * 2
+    interval = max(1, int(round(1.0 / max(load, 1e-9))))
+    microbatches = max(1, duration // interval)
+    for m in range(microbatches):
+        for k in range(n_stages - 1):
+            base = (m + k) * interval
+            if base >= duration:
+                break
+            for r in range(ranks):
+                cycle = base + r % interval
+                if cycle >= duration:
+                    continue
+                events.append(
+                    (
+                        cycle,
+                        hosts[k * ranks + r],
+                        hosts[(k + 1) * ranks + r],
+                        activation,
+                    )
+                )
+    return events
+
+
+def _tp_burst(hosts, duration, rng, load, size_flits):
+    # Tensor-parallel bursts: consecutive hosts form TP groups of
+    # TP_DEGREE; every interval each member sends to every other
+    # member (dense intra-group all-to-all, staggered inside the
+    # interval).  Interval scales with the per-burst volume so the
+    # offered load tracks `load`.
+    del rng
+    events = []
+    n = len(hosts)
+    group_size = min(TP_DEGREE, n)
+    interval = max(1, int(round((group_size - 1) / max(load, 1e-9))))
+    for start in range(0, duration, interval):
+        for g in range(0, n - group_size + 1, group_size):
+            members = hosts[g:g + group_size]
+            for i, src in enumerate(members):
+                for j, dst in enumerate(members):
+                    if i == j:
+                        continue
+                    cycle = start + (i + j) % interval
+                    if cycle >= duration:
+                        continue
+                    events.append((cycle, src, dst, size_flits))
     return events
 
 

@@ -34,6 +34,7 @@ engines return byte-identical bundles.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import Dict, List, Tuple
 
@@ -289,3 +290,89 @@ class WaferPartition:
             np.asarray(tags, dtype=np.int64),
             np.asarray(arrives, dtype=np.int64),
         )
+
+
+# ----------------------------------------------------------------------
+# Calibration probes (flow-level fidelity, see repro/dcn/flow.py)
+# ----------------------------------------------------------------------
+
+def calibration_probe(
+    network: NetworkModel,
+    load: float,
+    inject_cycles: int,
+    seed: int = 0,
+    size_flits: int = 4,
+    engine: str = "auto",
+    drain_bound: int = 50_000,
+) -> Dict[str, float]:
+    """Short cycle-accurate run measuring one wafer's service behaviour.
+
+    Drives ``network`` through a :class:`WaferPartition` with uniform
+    Bernoulli injections at ``load`` (flits per terminal per cycle,
+    spread over ``size_flits``-flit packets) for ``inject_cycles``,
+    then drains.  Returns the measurements the flow-level fidelity
+    mode fits its service curve from:
+
+    ``mean_latency``
+        mean create-to-delivery latency over all delivered packets;
+    ``delivered_flits_per_cycle``
+        delivered throughput over the *second half* of the injection
+        window — past warm-up, before the drain tail, so at saturating
+        loads this approaches the wafer's service capacity;
+    ``offered_load`` / ``delivered`` / ``offered`` / ``drain_cycle``
+        bookkeeping (flit counts and the cycle the run went idle).
+
+    Deterministic in ``(network shape, load, inject_cycles, seed,
+    size_flits)`` — probes are cacheable by construction.
+    """
+    if not 0.0 < load <= 1.0:
+        raise ValueError(f"probe load must be in (0, 1] (got {load})")
+    partition = WaferPartition(network, engine=engine)
+    n = network.n_terminals
+    rng = random.Random(seed)
+    packet_prob = load / size_flits
+    events: List[Event] = []
+    for cycle in range(inject_cycles):
+        for src in range(n):
+            if rng.random() < packet_prob:
+                dst = rng.randrange(n - 1)
+                if dst >= src:
+                    dst += 1
+                events.append((cycle, src, dst, size_flits, len(events)))
+    events.sort()
+    partition.enqueue(events)
+
+    half = max(1, inject_cycles // 2)
+    arrives: List[np.ndarray] = []
+    creates = {tag: event[0] for tag, event in enumerate(events)}
+    terms, tags, arr, counters = partition.advance(half)
+    arrives.append(arr)
+    tag_log = [tags]
+    delivered_at_half = counters["delivered_flits"]
+    terms, tags, arr, counters = partition.advance(inject_cycles)
+    arrives.append(arr)
+    tag_log.append(tags)
+    window_flits = counters["delivered_flits"] - delivered_at_half
+    window_cycles = inject_cycles - half
+
+    while counters["inflight"] and partition.cycle < drain_bound:
+        terms, tags, arr, counters = partition.advance(partition.cycle + 256)
+        arrives.append(arr)
+        tag_log.append(tags)
+
+    all_arrives = np.concatenate(arrives) if arrives else np.zeros(0)
+    all_tags = np.concatenate(tag_log) if tag_log else np.zeros(0)
+    latencies = [
+        int(arrive) - creates[int(tag)]
+        for arrive, tag in zip(all_arrives, all_tags)
+    ]
+    return {
+        "mean_latency": (
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        "delivered_flits_per_cycle": window_flits / window_cycles,
+        "offered_load": counters["offered_flits"] / (n * inject_cycles),
+        "offered": float(counters["offered_flits"]),
+        "delivered": float(counters["delivered_flits"]),
+        "drain_cycle": float(partition.cycle),
+    }
